@@ -1,0 +1,83 @@
+// Ablations for the design choices DESIGN.md calls out (not in the paper):
+// each row disables or alters one mechanism of DynaSoRe and reports
+// steady-state top-switch traffic (normalized to Random), replica footprint
+// and churn. Shows which mechanisms carry the gains:
+//   - replication (Algorithm 2), migration (Algorithm 3), proxy migration,
+//   - coarse vs exact origin statistics (§3.2 memory-saving coarsening),
+//   - per-view messages vs per-server batching,
+//   - the §3.3 durability mode (min 2 replicas pinned).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+namespace {
+
+sim::SimResult RunVariant(const graph::SocialGraph& g,
+                          const wl::RequestLog& log, const BenchArgs& args,
+                          const char* variant) {
+  sim::ExperimentConfig config;
+  config.policy = sim::Policy::kDynaSoRe;
+  config.init = sim::Init::kHMetis;
+  config.extra_memory_pct = 50;
+  config.seed = args.seed + 2;
+  const std::string v = variant;
+  if (v == "no replication") config.engine.enable_replication = false;
+  if (v == "no migration") config.engine.enable_migration = false;
+  if (v == "no proxy migration") config.engine.enable_proxy_migration = false;
+  if (v == "exact origins") config.engine.exact_origins = true;
+  if (v == "batched reads") config.engine.traffic.batch_per_server = true;
+  if (v == "durability pin=2") config.engine.store.min_replicas_pin = 2;
+  sim::RunOptions options;
+  options.measure_from = log.duration > kSecondsPerDay
+                             ? log.duration - kSecondsPerDay
+                             : log.duration / 2;
+  return RunExperiment(g, log, config, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("== Ablations: DynaSoRe from hMETIS, facebook, 50%% extra "
+              "(scale=%g) ==\n",
+              args.scale);
+  const auto g = bench::MakeGraph("facebook", args);
+  const auto log = bench::MakeSyntheticLog(g, args);
+  const double random =
+      bench::TopTotal(bench::RunPolicy(g, log, sim::Policy::kRandom,
+                                       sim::Init::kRandom, 50, args));
+  // Batched reads need their own baseline (batching also shrinks Random).
+  sim::ExperimentConfig batched_random;
+  batched_random.policy = sim::Policy::kRandom;
+  batched_random.seed = args.seed + 2;
+  batched_random.engine.traffic.batch_per_server = true;
+  sim::RunOptions options;
+  options.measure_from = log.duration - kSecondsPerDay;
+  const double random_batched = bench::TopTotal(
+      RunExperiment(g, log, batched_random, options));
+
+  common::TablePrinter table({"variant", "top traffic vs Random",
+                              "avg replicas", "replicas created",
+                              "replicas dropped"});
+  for (const char* variant :
+       {"full DynaSoRe", "no replication", "no migration",
+        "no proxy migration", "exact origins", "batched reads",
+        "durability pin=2"}) {
+    const auto result = RunVariant(g, log, args, variant);
+    const double baseline =
+        std::string(variant) == "batched reads" ? random_batched : random;
+    table.AddRow(
+        {variant,
+         common::TablePrinter::Fmt(bench::TopTotal(result) / baseline, 3),
+         common::TablePrinter::Fmt(result.avg_replicas, 2),
+         common::TablePrinter::Fmt(result.counters.replicas_created),
+         common::TablePrinter::Fmt(result.counters.replicas_dropped)});
+  }
+  table.Print();
+  bench::SaveCsv(args, "ablation_design", table.ToCsv());
+  return 0;
+}

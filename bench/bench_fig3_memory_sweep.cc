@@ -1,0 +1,66 @@
+// Figs 3a/3b/3c of the paper: top-switch traffic vs extra memory on the
+// tree topology, normalized to the static Random placement. Systems: SPAR
+// and DynaSoRe initialized from Random, METIS and hierarchical METIS.
+//
+//   bench_fig3_memory_sweep --graph=twitter      (Fig 3a)
+//   bench_fig3_memory_sweep --graph=livejournal  (Fig 3b)
+//   bench_fig3_memory_sweep --graph=facebook     (Fig 3c)
+//   bench_fig3_memory_sweep --all-graphs         (all three)
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+namespace {
+
+void SweepGraph(const std::string& name, const BenchArgs& args) {
+  std::printf("== Fig 3 (%s, tree topology, scale=%g, %.1f days) ==\n",
+              name.c_str(), args.scale, args.days);
+  const auto g = bench::MakeGraph(name, args);
+  const auto log = bench::MakeSyntheticLog(g, args);
+  const double random =
+      bench::TopTotal(bench::RunPolicy(g, log, sim::Policy::kRandom,
+                                       sim::Init::kRandom, 0, args));
+
+  common::TablePrinter table({"extra memory", "SPAR", "DynaSoRe(random)",
+                              "DynaSoRe(METIS)", "DynaSoRe(hMETIS)"});
+  for (double extra : args.extra_points) {
+    auto normalized = [&](sim::Policy policy, sim::Init init) {
+      return bench::TopTotal(
+                 bench::RunPolicy(g, log, policy, init, extra, args)) /
+             random;
+    };
+    table.AddRow(
+        {common::TablePrinter::Fmt(extra, 0) + "%",
+         common::TablePrinter::Fmt(
+             normalized(sim::Policy::kSpar, sim::Init::kRandom), 3),
+         common::TablePrinter::Fmt(
+             normalized(sim::Policy::kDynaSoRe, sim::Init::kRandom), 3),
+         common::TablePrinter::Fmt(
+             normalized(sim::Policy::kDynaSoRe, sim::Init::kMetis), 3),
+         common::TablePrinter::Fmt(
+             normalized(sim::Policy::kDynaSoRe, sim::Init::kHMetis), 3)});
+  }
+  std::printf("top-switch traffic normalized to Random (= 1.0)\n");
+  table.Print();
+  bench::SaveCsv(args, "fig3_memory_sweep_" + name, table.ToCsv());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::ParseArgs(argc, argv);
+  if (args.all_graphs) {
+    for (const char* name : {"twitter", "livejournal", "facebook"}) {
+      SweepGraph(name, args);
+    }
+  } else {
+    SweepGraph(args.graph, args);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig 3d of the paper: the same memory sweep on a flat topology (250
+// machines on one switch, every machine both broker and cache server),
+// Facebook graph. hMETIS degenerates to METIS without a hierarchy.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("== Fig 3d (facebook, flat topology, scale=%g) ==\n",
+              args.scale);
+  const auto g = bench::MakeGraph("facebook", args);
+  const auto log = bench::MakeSyntheticLog(g, args);
+  const double random = bench::TopTotal(
+      bench::RunPolicy(g, log, sim::Policy::kRandom, sim::Init::kRandom, 0,
+                       args, /*flat=*/true));
+
+  common::TablePrinter table(
+      {"extra memory", "SPAR", "DynaSoRe(random)", "DynaSoRe(METIS)"});
+  for (double extra : args.extra_points) {
+    auto normalized = [&](sim::Policy policy, sim::Init init) {
+      return bench::TopTotal(bench::RunPolicy(g, log, policy, init, extra,
+                                              args, /*flat=*/true)) /
+             random;
+    };
+    table.AddRow(
+        {common::TablePrinter::Fmt(extra, 0) + "%",
+         common::TablePrinter::Fmt(
+             normalized(sim::Policy::kSpar, sim::Init::kRandom), 3),
+         common::TablePrinter::Fmt(
+             normalized(sim::Policy::kDynaSoRe, sim::Init::kRandom), 3),
+         common::TablePrinter::Fmt(
+             normalized(sim::Policy::kDynaSoRe, sim::Init::kMetis), 3)});
+  }
+  std::printf("single-switch traffic normalized to Random (= 1.0)\n");
+  table.Print();
+  bench::SaveCsv(args, "fig3d_flat", table.ToCsv());
+  return 0;
+}

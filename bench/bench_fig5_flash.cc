@@ -1,0 +1,88 @@
+// Fig 5 of the paper: flash events. A random user gains 100 random
+// followers at t = 1 day and loses them at t = 3 days (paper: days 2..7 on
+// a longer run). Averaged over --trials runs, the bench reports the
+// celebrity view's replica count and the reads served per replica over
+// time. Expected shape: ~1 replica before, rising toward ~one replica per
+// intermediate switch during the spike, decaying within a day after it.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "workload/flash.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  BenchArgs args = bench::ParseArgs(argc, argv);
+  args.trials = std::min(args.trials, 3);
+  const double days = std::max(args.days, 4.5);
+  const SimTime flash_start = 1 * kSecondsPerDay;
+  const SimTime flash_end = 3 * kSecondsPerDay;
+  std::printf("== Fig 5: flash event, facebook, 30%% extra memory "
+              "(scale=%g, %d trials, spike day 1..3 of %.0f) ==\n",
+              args.scale, args.trials, days);
+
+  BenchArgs log_args = args;
+  log_args.days = days;
+  const auto g = bench::MakeGraph("facebook", args);
+  const auto log = bench::MakeSyntheticLog(g, log_args);
+
+  const SimTime sample_interval = kSecondsPerHour;
+  const auto samples = static_cast<std::size_t>(
+      log.duration / sample_interval);
+  std::vector<double> replicas_sum(samples, 0);
+  std::vector<double> reads_per_replica_sum(samples, 0);
+
+  for (int trial = 0; trial < args.trials; ++trial) {
+    common::Rng rng(args.seed + 100 + trial);
+    wl::FlashConfig flash_config;
+    flash_config.start = flash_start;
+    flash_config.end = flash_end;
+    flash_config.extra_followers = 100;
+    const wl::FlashEvent flash = wl::MakeFlashEvent(g, flash_config, rng);
+
+    sim::ExperimentConfig config;
+    config.policy = sim::Policy::kDynaSoRe;
+    config.init = sim::Init::kHMetis;
+    config.extra_memory_pct = 30;
+    config.seed = args.seed + trial;
+
+    sim::Simulator simulator(g, config);
+    simulator.engine().SetWatchedView(flash.celebrity);
+
+    std::size_t next = 0;
+    sim::RunOptions options;
+    const std::array<wl::FlashEvent, 1> events{flash};
+    options.flash = events;
+    options.sample_interval = sample_interval;
+    options.sampler = [&](SimTime, core::Engine& engine) {
+      if (next >= samples) return;
+      const double replicas = engine.ReplicaCount(flash.celebrity);
+      const double reads = static_cast<double>(engine.TakeWatchedReads());
+      replicas_sum[next] += replicas;
+      reads_per_replica_sum[next] += reads / std::max(1.0, replicas);
+      ++next;
+    };
+    simulator.Run(log, options);
+  }
+
+  common::TablePrinter table(
+      {"hour", "avg replicas", "reads/replica/hour", "phase"});
+  for (std::size_t i = 0; i < samples; ++i) {
+    const SimTime t = (i + 1) * sample_interval;
+    const char* phase = t <= flash_start ? "before"
+                        : t <= flash_end ? "SPIKE"
+                                         : "after";
+    table.AddRow({common::TablePrinter::Fmt(std::uint64_t{i + 1}),
+                  common::TablePrinter::Fmt(replicas_sum[i] / args.trials, 2),
+                  common::TablePrinter::Fmt(
+                      reads_per_replica_sum[i] / args.trials, 2),
+                  phase});
+  }
+  table.Print();
+  bench::SaveCsv(args, "fig5_flash", table.ToCsv());
+  return 0;
+}

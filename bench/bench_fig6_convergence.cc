@@ -1,0 +1,78 @@
+// Figs 6a/6b of the paper: convergence. Top-switch application and system
+// traffic over time for DynaSoRe at 150% extra memory, initialized from
+// Random and from hMETIS, under the synthetic log (6a) and the
+// News-Activity-style trace (6b). Application traffic is normalized per
+// bucket against Random; system traffic against Random's mean bucket.
+// Expected shape: application traffic approaches steady state within ~1
+// simulated day; system (replication) traffic bursts early then decays.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "workload/trace.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+namespace {
+
+void OneLog(const char* label, const graph::SocialGraph& g,
+            const wl::RequestLog& log, const BenchArgs& args) {
+  std::printf("-- Fig 6 (%s requests, facebook, 150%% extra) --\n", label);
+  const auto random = bench::RunPolicy(g, log, sim::Policy::kRandom,
+                                       sim::Init::kRandom, 150, args);
+  const auto from_random = bench::RunPolicy(g, log, sim::Policy::kDynaSoRe,
+                                            sim::Init::kRandom, 150, args);
+  const auto from_hmetis = bench::RunPolicy(g, log, sim::Policy::kDynaSoRe,
+                                            sim::Init::kHMetis, 150, args);
+
+  double random_mean = 0;
+  for (double x : random.top_app_series) random_mean += x;
+  random_mean /= std::max<std::size_t>(1, random.top_app_series.size());
+
+  auto app_at = [&](const sim::SimResult& r, std::size_t i) {
+    const double denom = i < random.top_app_series.size() &&
+                                 random.top_app_series[i] > 0
+                             ? random.top_app_series[i]
+                             : random_mean;
+    return i < r.top_app_series.size() ? r.top_app_series[i] / denom : 0.0;
+  };
+  auto sys_at = [&](const sim::SimResult& r, std::size_t i) {
+    return i < r.top_sys_series.size() ? r.top_sys_series[i] / random_mean
+                                       : 0.0;
+  };
+
+  common::TablePrinter table({"hour", "app(from random)", "app(from hMETIS)",
+                              "sys(from random)", "sys(from hMETIS)"});
+  const std::size_t buckets = random.top_app_series.size();
+  for (std::size_t i = 0; i < buckets; i += 2) {
+    table.AddRow({common::TablePrinter::Fmt(std::uint64_t{i}),
+                  common::TablePrinter::Fmt(app_at(from_random, i), 3),
+                  common::TablePrinter::Fmt(app_at(from_hmetis, i), 3),
+                  common::TablePrinter::Fmt(sys_at(from_random, i), 4),
+                  common::TablePrinter::Fmt(sys_at(from_hmetis, i), 4)});
+  }
+  table.Print();
+  bench::SaveCsv(args, std::string("fig6_convergence_") + label,
+                 table.ToCsv());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = bench::ParseArgs(argc, argv);
+  args.days = std::max(args.days, 3.0);
+  std::printf("== Fig 6: convergence over time (scale=%g, %.0f days) ==\n",
+              args.scale, args.days);
+  const auto g = bench::MakeGraph("facebook", args);
+
+  OneLog("synthetic", g, bench::MakeSyntheticLog(g, args), args);
+
+  wl::TraceLogConfig trace_config;
+  trace_config.days = args.days + 1;  // 6b runs a little longer in the paper
+  trace_config.seed = args.seed + 1;
+  OneLog("trace", g, GenerateActivityTrace(g, trace_config), args);
+  return 0;
+}

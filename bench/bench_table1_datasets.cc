@@ -1,0 +1,39 @@
+// Table 1 of the paper: dataset sizes. Prints the generated stand-in graphs
+// next to the paper's numbers; the users:links ratio is the preserved
+// quantity (absolute counts scale with --scale).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("== Table 1: datasets (scale=%g) ==\n", args.scale);
+
+  struct PaperRow {
+    const char* name;
+    double users_m;
+    double links_m;
+  };
+  const PaperRow paper[] = {
+      {"twitter", 1.7, 5.0}, {"facebook", 3.0, 47.0}, {"livejournal", 4.8, 69.0}};
+
+  common::TablePrinter table({"dataset", "users", "links", "links/user",
+                              "paper links/user", "directed", "max in-deg"});
+  for (const PaperRow& row : paper) {
+    const auto g = bench::MakeGraph(row.name, args);
+    table.AddRow({row.name, common::TablePrinter::Fmt(std::uint64_t{g.num_users()}),
+                  common::TablePrinter::Fmt(g.num_links()),
+                  common::TablePrinter::Fmt(
+                      static_cast<double>(g.num_links()) / g.num_users(), 2),
+                  common::TablePrinter::Fmt(row.links_m / row.users_m, 2),
+                  g.directed() ? "yes" : "no",
+                  common::TablePrinter::Fmt(std::uint64_t{g.MaxInDegree()})});
+  }
+  table.Print();
+  bench::SaveCsv(args, "table1_datasets", table.ToCsv());
+  return 0;
+}

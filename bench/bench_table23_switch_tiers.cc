@@ -1,0 +1,85 @@
+// Tables 2 and 3 of the paper: average per-switch traffic at the top,
+// intermediate and rack tiers for DynaSoRe (initialized from hMETIS) and
+// SPAR, normalized to Random, at 30% and 150% extra memory, across the three
+// datasets.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+namespace {
+
+struct TierRatios {
+  double top;
+  double intermediate;
+  double rack;
+};
+
+TierRatios Normalize(const sim::SimResult& x, const sim::SimResult& random) {
+  auto ratio = [&](net::Tier tier) {
+    const auto i = static_cast<int>(tier);
+    const double denominator = std::max(1.0, random.window[i].total());
+    return x.window[i].total() / denominator;
+  };
+  return {ratio(net::Tier::kTop), ratio(net::Tier::kIntermediate),
+          ratio(net::Tier::kRack)};
+}
+
+void OneExtra(double extra, const BenchArgs& args) {
+  std::printf("== Table %s: switch traffic, %.0f%% extra memory "
+              "(normalized to Random) ==\n",
+              extra < 100 ? "2" : "3", extra);
+  common::TablePrinter table(
+      {"switch tier", "system", "facebook", "twitter", "livejournal"});
+  struct Cells {
+    TierRatios dynasore;
+    TierRatios spar;
+  };
+  std::vector<Cells> per_graph;
+  for (const char* name : {"facebook", "twitter", "livejournal"}) {
+    const auto g = bench::MakeGraph(name, args);
+    const auto log = bench::MakeSyntheticLog(g, args);
+    const auto random = bench::RunPolicy(g, log, sim::Policy::kRandom,
+                                         sim::Init::kRandom, extra, args);
+    const auto dynasore = bench::RunPolicy(
+        g, log, sim::Policy::kDynaSoRe, sim::Init::kHMetis, extra, args);
+    const auto spar = bench::RunPolicy(g, log, sim::Policy::kSpar,
+                                       sim::Init::kRandom, extra, args);
+    per_graph.push_back(
+        {Normalize(dynasore, random), Normalize(spar, random)});
+  }
+  auto row = [&](const char* tier, const char* system, auto pick) {
+    table.AddRow({tier, system,
+                  common::TablePrinter::Fmt(pick(per_graph[0]), 2),
+                  common::TablePrinter::Fmt(pick(per_graph[1]), 2),
+                  common::TablePrinter::Fmt(pick(per_graph[2]), 2)});
+  };
+  row("top", "DynaSoRe", [](const Cells& c) { return c.dynasore.top; });
+  row("top", "SPAR", [](const Cells& c) { return c.spar.top; });
+  row("intermediate", "DynaSoRe",
+      [](const Cells& c) { return c.dynasore.intermediate; });
+  row("intermediate", "SPAR",
+      [](const Cells& c) { return c.spar.intermediate; });
+  row("rack", "DynaSoRe", [](const Cells& c) { return c.dynasore.rack; });
+  row("rack", "SPAR", [](const Cells& c) { return c.spar.rack; });
+  table.Print();
+  bench::SaveCsv(args,
+                 extra < 100 ? "table2_switch_tiers" : "table3_switch_tiers",
+                 table.ToCsv());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("(scale=%g, %.1f days; paper Table 2/3 reference: DynaSoRe top "
+              ".04-.07 / .01, SPAR top .55-.65 / .11-.26)\n\n",
+              args.scale, args.days);
+  OneExtra(30, args);
+  OneExtra(150, args);
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string_view>
+
+#include "common/table.h"
+#include "workload/synthetic.h"
+
+namespace dynasore::bench {
+
+namespace {
+
+bool ConsumeFlag(std::string_view arg, std::string_view name,
+                 std::string_view& value) {
+  if (arg.substr(0, name.size()) != name) return false;
+  value = arg.substr(name.size());
+  return true;
+}
+
+}  // namespace
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (ConsumeFlag(arg, "--scale=", value)) {
+      args.scale = std::atof(std::string(value).c_str());
+    } else if (ConsumeFlag(arg, "--days=", value)) {
+      args.days = std::atof(std::string(value).c_str());
+    } else if (ConsumeFlag(arg, "--seed=", value)) {
+      args.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (ConsumeFlag(arg, "--graph=", value)) {
+      args.graph = std::string(value);
+    } else if (ConsumeFlag(arg, "--trials=", value)) {
+      args.trials = std::atoi(std::string(value).c_str());
+    } else if (ConsumeFlag(arg, "--csv-dir=", value)) {
+      args.csv_dir = std::string(value);
+    } else if (arg == "--all-graphs") {
+      args.all_graphs = true;
+    } else if (ConsumeFlag(arg, "--points=", value)) {
+      args.extra_points.clear();
+      std::string buffer(value);
+      std::size_t start = 0;
+      while (start <= buffer.size()) {
+        std::size_t comma = buffer.find(',', start);
+        if (comma == std::string::npos) comma = buffer.size();
+        if (comma > start) {
+          args.extra_points.push_back(
+              std::atof(buffer.substr(start, comma - start).c_str()));
+        }
+        start = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "ignoring unknown flag: %s\n",
+                   std::string(arg).c_str());
+    }
+  }
+  if (const char* env = std::getenv("REPRO_SCALE")) {
+    args.scale = std::atof(env);
+  }
+  return args;
+}
+
+graph::SocialGraph MakeGraph(const std::string& name, const BenchArgs& args) {
+  return graph::GenerateDataset(graph::ParseDataset(name), args.scale,
+                                args.seed);
+}
+
+wl::RequestLog MakeSyntheticLog(const graph::SocialGraph& g,
+                                const BenchArgs& args) {
+  wl::SyntheticLogConfig config;
+  config.days = args.days;
+  config.seed = args.seed + 1;
+  return GenerateSyntheticLog(g, config);
+}
+
+sim::SimResult RunPolicy(const graph::SocialGraph& g,
+                         const wl::RequestLog& log, sim::Policy policy,
+                         sim::Init init, double extra_pct,
+                         const BenchArgs& args, bool flat) {
+  sim::ExperimentConfig config;
+  config.policy = policy;
+  config.init = init;
+  config.extra_memory_pct = extra_pct;
+  config.seed = args.seed + 2;
+  config.cluster.flat = flat;
+  sim::RunOptions options;
+  // Steady state: measure the last simulated day (or the second half of
+  // shorter logs).
+  options.measure_from = log.duration > kSecondsPerDay
+                             ? log.duration - kSecondsPerDay
+                             : log.duration / 2;
+  return RunExperiment(g, log, config, options);
+}
+
+double TopTotal(const sim::SimResult& result) {
+  return result.window[static_cast<int>(net::Tier::kTop)].total();
+}
+
+void SaveCsv(const BenchArgs& args, const std::string& name,
+             const std::string& csv) {
+  std::error_code ec;
+  std::filesystem::create_directories(args.csv_dir, ec);
+  const std::string path = args.csv_dir + "/" + name + ".csv";
+  if (common::WriteCsvFile(path, csv)) {
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[csv] failed to write %s\n", path.c_str());
+  }
+}
+
+}  // namespace dynasore::bench

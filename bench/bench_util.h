@@ -1,0 +1,55 @@
+// Shared plumbing for the experiment benches: flag parsing, dataset/log
+// construction, policy runs, and normalization against the Random baseline
+// (every figure in the paper reports traffic normalized to Random).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/presets.h"
+#include "graph/social_graph.h"
+#include "sim/experiment.h"
+#include "workload/request_log.h"
+
+namespace dynasore::bench {
+
+struct BenchArgs {
+  // Fraction of the paper's dataset sizes (Table 1). 0.004 keeps the full
+  // default harness under ~10 minutes; use 0.01+ to tighten the match with
+  // the paper (see EXPERIMENTS.md).
+  double scale = 0.004;
+  double days = 2.0;        // simulated duration of the request log
+  std::uint64_t seed = 42;
+  std::string graph = "facebook";
+  std::vector<double> extra_points{0, 30, 100, 200};
+  bool all_graphs = false;
+  int trials = 5;           // flash-event repetitions
+  std::string csv_dir = "bench_results";
+};
+
+// Recognized flags: --scale=F --days=F --seed=N --graph=NAME --trials=N
+// --points=A,B,C --all-graphs --csv-dir=PATH. Environment variable
+// REPRO_SCALE overrides --scale when set.
+BenchArgs ParseArgs(int argc, char** argv);
+
+// Generates the graph for `name` ("twitter" / "facebook" / "livejournal").
+graph::SocialGraph MakeGraph(const std::string& name, const BenchArgs& args);
+
+// Synthetic request log with the paper's §4.2 parameters.
+wl::RequestLog MakeSyntheticLog(const graph::SocialGraph& g,
+                                const BenchArgs& args);
+
+// One policy run measured over the last simulated day (steady state).
+sim::SimResult RunPolicy(const graph::SocialGraph& g,
+                         const wl::RequestLog& log, sim::Policy policy,
+                         sim::Init init, double extra_pct,
+                         const BenchArgs& args, bool flat = false);
+
+double TopTotal(const sim::SimResult& result);
+
+// Writes `csv` to <csv_dir>/<name>.csv (best effort; prints the location).
+void SaveCsv(const BenchArgs& args, const std::string& name,
+             const std::string& csv);
+
+}  // namespace dynasore::bench

@@ -1,0 +1,72 @@
+// Capacity planner: the practical question behind Fig 3 — how much cache
+// memory buys how much network headroom? Sweeps the extra-memory budget on
+// a Facebook-shaped workload and reports the top-switch traffic per budget,
+// both for DynaSoRe and for the static baselines, so an operator can pick
+// the knee of the curve.
+//
+//   ./capacity_planner [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/presets.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+using namespace dynasore;
+
+namespace {
+
+double TopTraffic(const sim::SimResult& r) {
+  return r.window[static_cast<int>(net::Tier::kTop)].total();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.002;
+  const auto graph =
+      graph::GenerateDataset(graph::Dataset::kFacebook, scale, 7);
+  wl::SyntheticLogConfig log_config;
+  log_config.days = 2;
+  log_config.seed = 3;
+  const wl::RequestLog log = GenerateSyntheticLog(graph, log_config);
+  std::printf("facebook-shaped graph: %u users, %llu friendships\n\n",
+              graph.num_users(),
+              static_cast<unsigned long long>(graph.num_links()));
+
+  auto run = [&](sim::Policy policy, sim::Init init, double extra) {
+    sim::ExperimentConfig config;
+    config.policy = policy;
+    config.init = init;
+    config.extra_memory_pct = extra;
+    config.seed = 17;
+    sim::RunOptions options;
+    options.measure_from = log.duration / 2;
+    return RunExperiment(graph, log, config, options);
+  };
+
+  const double random = TopTraffic(run(sim::Policy::kRandom,
+                                       sim::Init::kRandom, 0));
+  std::printf("static baselines (top-switch traffic vs Random):\n");
+  std::printf("  METIS  : %.2f\n",
+              TopTraffic(run(sim::Policy::kMetis, sim::Init::kRandom, 0)) /
+                  random);
+  std::printf("  hMETIS : %.2f\n\n",
+              TopTraffic(run(sim::Policy::kHMetis, sim::Init::kRandom, 0)) /
+                  random);
+
+  std::printf("%-14s %-22s %-14s %s\n", "extra memory", "top traffic vs "
+              "Random", "avg replicas", "memory used");
+  for (double extra : {0.0, 15.0, 30.0, 50.0, 100.0, 150.0, 200.0}) {
+    const auto result = run(sim::Policy::kDynaSoRe, sim::Init::kHMetis,
+                            extra);
+    std::printf("%-14.0f %-22.3f %-14.2f %llu/%llu\n", extra,
+                TopTraffic(result) / random, result.avg_replicas,
+                static_cast<unsigned long long>(result.memory_used),
+                static_cast<unsigned long long>(result.memory_capacity));
+  }
+  std::printf("\nthe paper's headline: ~30%% extra memory cuts top-switch "
+              "traffic by ~94%% vs Random (Fig 3); the knee of this curve "
+              "is the budget to provision.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Crash recovery walkthrough (§2.2/§3.3): posts are durable in the
+// persistent store before they hit the cache, so losing a cache server
+// never loses data — sole views are rebuilt from the store, and views that
+// were hot enough to have replicas keep serving without a rebuild.
+//
+//   ./crash_recovery
+#include <cstdio>
+
+#include "core/client.h"
+#include "core/engine.h"
+#include "graph/social_graph.h"
+#include "net/topology.h"
+#include "persist/persistent_store.h"
+#include "placement/placement.h"
+
+using namespace dynasore;
+
+int main() {
+  const auto topo = net::Topology::MakeTree(net::TreeConfig{2, 2, 3});
+
+  // Four users; user 3 follows everyone.
+  const std::vector<graph::Edge> follows{{3, 0}, {3, 1}, {3, 2}};
+  const auto graph =
+      graph::SocialGraph::FromEdges(4, follows, /*directed=*/true);
+
+  place::PlacementResult placement;
+  placement.replicas = {{0}, {0}, {4}, {6}};  // two views on server 0
+  placement.master = {0, 0, 4, 6};
+
+  core::EngineConfig config;
+  config.store.capacity_views = 8;
+  config.store.payload_mode = true;
+  core::Engine engine(topo, placement, config);
+  persist::PersistentStore persist;
+  core::Client client(engine, persist, graph);
+
+  client.Post(0, "only copy lives on server 0", 10);
+  client.Post(1, "me too", 20);
+  client.Post(2, "safely elsewhere", 30);
+
+  // Remote reads make view 0 hot enough to be replicated off server 0.
+  for (SimTime t = 100; t < 3000; t += 100) client.ReadFeed(3, t);
+  std::printf("before crash: view0 replicas=%u view1 replicas=%u\n",
+              engine.ReplicaCount(0), engine.ReplicaCount(1));
+
+  std::printf("*** server 0 crashes ***\n");
+  engine.CrashServer(0, 5000);
+
+  std::printf("after crash:  view0 replicas=%u view1 replicas=%u "
+              "(rebuilds from persistent store: %llu)\n",
+              engine.ReplicaCount(0), engine.ReplicaCount(1),
+              static_cast<unsigned long long>(
+                  engine.counters().crash_rebuilds));
+
+  // Nothing was lost: the feed still serves every post.
+  std::printf("user 3's feed after the crash:\n");
+  for (const store::Event& event : client.ReadFeed(3, 6000)) {
+    std::printf("  user %u: %s\n", event.author, event.payload.c_str());
+  }
+  return 0;
+}

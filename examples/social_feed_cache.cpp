@@ -1,0 +1,77 @@
+// Social feed cache under a flash crowd: the workload the paper's
+// introduction motivates. A Twitter-shaped community graph serves feeds
+// from the paper's 25-rack cluster; mid-run a random user goes viral
+// (gains 100 followers), and the example tracks how DynaSoRe replicates
+// her view toward the new readers and evicts the copies once the hype dies.
+//
+//   ./social_feed_cache [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "graph/presets.h"
+#include "sim/experiment.h"
+#include "workload/flash.h"
+#include "workload/synthetic.h"
+
+using namespace dynasore;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.002;
+  const auto graph = graph::GenerateDataset(graph::Dataset::kTwitter, scale,
+                                            2024);
+  std::printf("twitter-shaped graph: %u users, %llu follow links\n",
+              graph.num_users(),
+              static_cast<unsigned long long>(graph.num_links()));
+
+  wl::SyntheticLogConfig log_config;
+  log_config.days = 4;
+  log_config.seed = 11;
+  const wl::RequestLog log = GenerateSyntheticLog(graph, log_config);
+
+  common::Rng rng(99);
+  wl::FlashConfig flash_config;
+  flash_config.start = 1 * kSecondsPerDay;
+  flash_config.end = 2 * kSecondsPerDay;
+  flash_config.extra_followers = 100;
+  const wl::FlashEvent flash = wl::MakeFlashEvent(graph, flash_config, rng);
+  std::printf("flash crowd: user %u gains %zu followers on day 1, loses "
+              "them on day 2\n\n",
+              flash.celebrity, flash.followers.size());
+
+  sim::ExperimentConfig config;
+  config.policy = sim::Policy::kDynaSoRe;
+  config.init = sim::Init::kHMetis;
+  config.extra_memory_pct = 30;
+  config.seed = 5;
+
+  sim::Simulator simulator(graph, config);
+  simulator.engine().SetWatchedView(flash.celebrity);
+
+  std::printf("%-6s %-10s %-16s %s\n", "hour", "replicas", "reads/replica",
+              "phase");
+  sim::RunOptions options;
+  const std::array<wl::FlashEvent, 1> events{flash};
+  options.flash = events;
+  options.sample_interval = 4 * kSecondsPerHour;
+  options.sampler = [&](SimTime t, core::Engine& engine) {
+    const double replicas = engine.ReplicaCount(flash.celebrity);
+    const double reads = static_cast<double>(engine.TakeWatchedReads());
+    const char* phase = t < flash_config.start ? "calm"
+                        : t < flash_config.end ? "VIRAL"
+                                               : "aftermath";
+    std::printf("%-6llu %-10.0f %-16.1f %s\n",
+                static_cast<unsigned long long>(t / kSecondsPerHour),
+                replicas, reads / std::max(1.0, replicas), phase);
+  };
+  const sim::SimResult result = simulator.Run(log, options);
+
+  std::printf("\nrun totals: %llu replicas created, %llu dropped, final "
+              "celebrity replicas: %u\n",
+              static_cast<unsigned long long>(
+                  result.counters.replicas_created),
+              static_cast<unsigned long long>(
+                  result.counters.replicas_dropped),
+              simulator.engine().ReplicaCount(flash.celebrity));
+  return 0;
+}

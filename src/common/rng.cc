@@ -1,0 +1,164 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dynasore::common {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = SplitMix64(state);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method keeps the draw unbiased.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint32_t Rng::NextRange(std::uint32_t lo, std::uint32_t hi) {
+  assert(lo < hi);
+  return lo + static_cast<std::uint32_t>(NextBounded(hi - lo));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double probability) {
+  return NextDouble() < probability;
+}
+
+double Rng::NextExponential(double rate) {
+  assert(rate > 0);
+  double u = NextDouble();
+  if (u <= 0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+Rng Rng::Split() { return Rng(NextU64() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) return;
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  if (total <= 0) {
+    // Degenerate all-zero weights: fall back to uniform.
+    for (std::size_t i = 0; i < n; ++i) alias_[i] = static_cast<std::uint32_t>(i);
+    return;
+  }
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::size_t AliasTable::Sample(Rng& rng) const {
+  assert(!prob_.empty());
+  const std::size_t column = static_cast<std::size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+PowerLawSampler::PowerLawSampler(std::uint32_t min, std::uint32_t max,
+                                 double exponent)
+    : min_(static_cast<double>(min)),
+      max_(static_cast<double>(max)),
+      exponent_(exponent) {
+  assert(min >= 1);
+  assert(max >= min);
+  assert(exponent > 1.0);
+}
+
+std::uint32_t PowerLawSampler::Sample(Rng& rng) const {
+  // Inverse transform of the continuous power law truncated to [min, max].
+  const double a = 1.0 - exponent_;
+  const double lo = std::pow(min_, a);
+  const double hi = std::pow(max_ + 1.0, a);
+  const double u = rng.NextDouble();
+  const double x = std::pow(lo + u * (hi - lo), 1.0 / a);
+  auto value = static_cast<std::uint32_t>(x);
+  if (value < static_cast<std::uint32_t>(min_)) value = static_cast<std::uint32_t>(min_);
+  if (value > static_cast<std::uint32_t>(max_)) value = static_cast<std::uint32_t>(max_);
+  return value;
+}
+
+double PowerLawSampler::Mean() const {
+  // Mean of the continuous truncated power law; close enough for sizing.
+  const double a = 1.0 - exponent_;
+  const double b = 2.0 - exponent_;
+  const double num = (std::pow(max_ + 1.0, b) - std::pow(min_, b)) / b;
+  const double den = (std::pow(max_ + 1.0, a) - std::pow(min_, a)) / a;
+  return num / den;
+}
+
+}  // namespace dynasore::common

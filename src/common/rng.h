@@ -1,0 +1,90 @@
+// Deterministic pseudo-random utilities: xoshiro256** generator, alias-table
+// weighted sampling, and bounded power-law samplers used by the graph and
+// workload generators. Everything is seedable so experiments replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dynasore::common {
+
+// SplitMix64, used to expand a single 64-bit seed into generator state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, and good enough for
+// simulation workloads; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform in [lo, hi) for 32-bit ranges.
+  std::uint32_t NextRange(std::uint32_t lo, std::uint32_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial.
+  bool NextBool(double probability);
+
+  // Standard exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Split off an independent stream (hash of this stream's next output).
+  Rng Split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// O(1) sampling from a fixed discrete distribution (Vose alias method).
+// Used for degree-weighted user sampling in the workload generators, where
+// millions of draws are made from the same weight vector.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights);
+
+  bool empty() const { return prob_.empty(); }
+  std::size_t size() const { return prob_.size(); }
+
+  // Draws an index in [0, size()) with probability proportional to its
+  // weight. Must not be called on an empty table.
+  std::size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+// Samples integers in [min, max] from a power law p(k) ~ k^-exponent using
+// inverse-transform on the continuous approximation. Used for degree and
+// community-size draws.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(std::uint32_t min, std::uint32_t max, double exponent);
+
+  std::uint32_t Sample(Rng& rng) const;
+  double Mean() const;
+
+ private:
+  double min_;
+  double max_;
+  double exponent_;
+};
+
+}  // namespace dynasore::common

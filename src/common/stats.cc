@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dynasore::common {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::span<const double> values, double q) {
+  assert(!values.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(buckets > 0);
+  assert(hi > lo);
+}
+
+void Histogram::Add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace dynasore::common

@@ -1,0 +1,54 @@
+// Small statistics helpers used by generators, experiments and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dynasore::common {
+
+// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+// Returns the q-quantile (0 <= q <= 1) of `values` (copies and sorts).
+double Quantile(std::span<const double> values, double q);
+
+// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dynasore::common

@@ -1,0 +1,35 @@
+// Console table and CSV output used by the bench binaries to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynasore::common {
+
+// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for numeric cells.
+  static std::string Fmt(double value, int precision = 3);
+  static std::string Fmt(std::uint64_t value);
+
+  // Renders to stdout with a separator under the header.
+  void Print() const;
+
+  // Renders as CSV (for plotting).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Writes a CSV file; returns false on I/O failure.
+bool WriteCsvFile(const std::string& path, const std::string& contents);
+
+}  // namespace dynasore::common

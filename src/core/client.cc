@@ -1,0 +1,39 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+namespace dynasore::core {
+
+Client::Client(Engine& engine, persist::PersistentStore& persist,
+               const graph::SocialGraph& graph)
+    : engine_(&engine), persist_(&persist), graph_(&graph) {
+  engine_->AttachPersistentStore(&persist);
+}
+
+void Client::Post(UserId author, std::string payload, SimTime t) {
+  // Durability first (§3.3): the persistent store logs the event, then
+  // notifies the write proxy, which refreshes every cache replica.
+  persist_->Append(store::Event{author, t, std::move(payload)});
+  engine_->ExecuteWrite(author, t);
+}
+
+std::vector<store::Event> Client::Read(UserId reader,
+                                       std::span<const ViewId> views,
+                                       SimTime t) {
+  std::vector<store::Event> feed;
+  engine_->ExecuteRead(reader, views, t, &feed);
+  return feed;
+}
+
+std::vector<store::Event> Client::ReadFeed(UserId reader, SimTime t,
+                                           std::size_t limit) {
+  std::vector<store::Event> feed = Read(reader, graph_->Followees(reader), t);
+  std::stable_sort(feed.begin(), feed.end(),
+                   [](const store::Event& a, const store::Event& b) {
+                     return a.time > b.time;  // newest first
+                   });
+  if (feed.size() > limit) feed.resize(limit);
+  return feed;
+}
+
+}  // namespace dynasore::core

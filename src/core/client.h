@@ -1,0 +1,47 @@
+// Drop-in-for-memcache client facade (paper §3.1): Read(u, L) returns the
+// views of the users in L; Write(u) routes a freshly persisted event through
+// the cache-coherence protocol of §3.3 (persist first, then the write proxy
+// fetches the new version and updates every replica).
+//
+// The facade is the library's payload-mode entry point: it couples a
+// DynaSoRe engine (running in payload mode) with the persistent store and a
+// social graph, and is what the examples build on.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/social_graph.h"
+#include "persist/persistent_store.h"
+#include "store/view_data.h"
+
+namespace dynasore::core {
+
+class Client {
+ public:
+  // The engine must outlive the client and should run with
+  // config().store.payload_mode == true for reads to return content.
+  Client(Engine& engine, persist::PersistentStore& persist,
+         const graph::SocialGraph& graph);
+
+  // Publishes an event: durably persisted, then written through the cache.
+  void Post(UserId author, std::string payload, SimTime t);
+
+  // Read(u, L) with an explicit view list.
+  std::vector<store::Event> Read(UserId reader, std::span<const ViewId> views,
+                                 SimTime t);
+
+  // The canonical social-feed read: the views of all of u's connections,
+  // newest events first, truncated to `limit`.
+  std::vector<store::Event> ReadFeed(UserId reader, SimTime t,
+                                     std::size_t limit = 50);
+
+ private:
+  Engine* engine_;
+  persist::PersistentStore* persist_;
+  const graph::SocialGraph* graph_;
+};
+
+}  // namespace dynasore::core

@@ -1,0 +1,642 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/utility.h"
+
+namespace dynasore::core {
+
+Engine::Engine(const net::Topology& topo,
+               const place::PlacementResult& initial,
+               const EngineConfig& config)
+    : topo_(&topo),
+      config_(config),
+      registry_(initial, topo),
+      traffic_(topo, config.traffic) {
+  servers_.reserve(topo.num_servers());
+  for (ServerId s = 0; s < topo.num_servers(); ++s) {
+    servers_.emplace_back(s, config.store);
+  }
+  for (ViewId v = 0; v < registry_.num_views(); ++v) {
+    for (ServerId s : registry_.info(v).replicas) {
+      const bool ok = servers_[s].Insert(v);
+      assert(ok && "initial placement exceeds server capacity");
+      (void)ok;
+    }
+  }
+  rack_cache_.assign(topo.num_racks(), RackCache{});
+}
+
+std::uint64_t Engine::TotalUsed() const {
+  std::uint64_t used = 0;
+  for (const auto& s : servers_) used += s.used();
+  return used;
+}
+
+std::uint64_t Engine::TotalCapacity() const {
+  std::uint64_t capacity = 0;
+  for (const auto& s : servers_) capacity += s.capacity();
+  return capacity;
+}
+
+std::uint64_t Engine::TakeWatchedReads() {
+  const std::uint64_t reads = watched_reads_;
+  watched_reads_ = 0;
+  return reads;
+}
+
+// ----- Request execution -----
+
+void Engine::ExecuteRead(UserId reader, std::span<const ViewId> targets,
+                         SimTime t, std::vector<store::Event>* feed_out) {
+  ++counters_.reads;
+  const BrokerId broker = registry_.info(reader).read_proxy;
+  const RackId broker_rack = topo_->rack_of_broker(broker);
+
+  accessed_scratch_.clear();
+  for (ViewId v : targets) {
+    const ServerId s = registry_.ClosestReplica(broker, v, *topo_);
+    accessed_scratch_.push_back(s);
+    ++counters_.view_reads;
+    if (v == watched_view_) ++watched_reads_;
+    if (!config_.traffic.batch_per_server) {
+      traffic_.RecordRoundTrip(topo_->PathBrokerServer(broker, s),
+                               config_.traffic.app_msg_size,
+                               net::MsgClass::kApp, t);
+    }
+    if (feed_out != nullptr) {
+      if (const store::ViewData* data = servers_[s].FindData(v)) {
+        const auto events = data->events();
+        feed_out->insert(feed_out->end(), events.begin(), events.end());
+      }
+    }
+    if (config_.adaptive) {
+      servers_[s].RecordRead(
+          v, topo_->OriginIndex(s, broker_rack, config_.exact_origins));
+      if (!InCooldown(v)) MaybeAdapt(v, s, t);
+    }
+  }
+
+  if (config_.traffic.batch_per_server) {
+    // One request/answer pair per distinct server contacted.
+    auto unique_servers = accessed_scratch_;
+    std::sort(unique_servers.begin(), unique_servers.end());
+    unique_servers.erase(
+        std::unique(unique_servers.begin(), unique_servers.end()),
+        unique_servers.end());
+    for (ServerId s : unique_servers) {
+      traffic_.RecordRoundTrip(topo_->PathBrokerServer(broker, s),
+                               config_.traffic.app_msg_size,
+                               net::MsgClass::kApp, t);
+    }
+  }
+
+  if (config_.adaptive && config_.enable_proxy_migration &&
+      !targets.empty()) {
+    MaybeMigrateReadProxy(reader, accessed_scratch_, t);
+  }
+}
+
+void Engine::ExecuteWrite(UserId writer, SimTime t) {
+  ++counters_.writes;
+  const ViewId v = writer;  // producer-pivoted views: one view per user
+  const BrokerId broker = registry_.info(v).write_proxy;
+
+  std::span<const store::Event> new_version;
+  if (persist_ != nullptr && config_.store.payload_mode) {
+    new_version = persist_->FetchView(writer);
+  }
+
+  accessed_scratch_.clear();
+  for (ServerId s : registry_.info(v).replicas) {
+    accessed_scratch_.push_back(s);
+    ++counters_.replica_updates;
+    traffic_.RecordRoundTrip(topo_->PathBrokerServer(broker, s),
+                             config_.traffic.app_msg_size, net::MsgClass::kApp,
+                             t);
+    if (config_.adaptive) servers_[s].RecordWrite(v);
+    if (!new_version.empty()) {
+      if (store::ViewData* data = servers_[s].FindData(v)) {
+        data->ReplaceWith(new_version);
+      }
+    }
+  }
+
+  if (config_.adaptive && config_.enable_proxy_migration) {
+    MaybeMigrateWriteProxy(writer, t);
+  }
+}
+
+// ----- Proxy placement (§3.2 "Proxy placement") -----
+
+BrokerId Engine::BestBrokerFor(std::span<const ServerId> accessed,
+                               BrokerId current) const {
+  if (topo_->is_flat()) {
+    // Machines double as brokers: pick the machine serving the most views,
+    // leaving the proxy in place on ties.
+    flat_counts_.assign(topo_->num_servers(), 0);
+    for (ServerId s : accessed) ++flat_counts_[s];
+    BrokerId best = current;
+    for (ServerId s = 0; s < topo_->num_servers(); ++s) {
+      if (flat_counts_[s] > flat_counts_[best]) best = s;
+    }
+    return best;
+  }
+  // Walk down from the root, following the branch that transferred the most
+  // views; ties keep the current proxy's branch to avoid gratuitous moves.
+  std::array<std::uint32_t, 64> int_counts{};
+  std::array<std::uint32_t, 512> rack_counts{};
+  assert(topo_->num_intermediates() <= int_counts.size());
+  assert(topo_->num_racks() <= rack_counts.size());
+  for (ServerId s : accessed) {
+    ++int_counts[topo_->intermediate_of_server(s)];
+    ++rack_counts[topo_->rack_of_server(s)];
+  }
+  const RackId current_rack = topo_->rack_of_broker(current);
+  const std::uint16_t current_int = topo_->intermediate_of_rack(current_rack);
+  std::uint16_t best_int = current_int;
+  for (std::uint16_t i = 0; i < topo_->num_intermediates(); ++i) {
+    if (int_counts[i] > int_counts[best_int]) best_int = i;
+  }
+  RackId best_rack = best_int == current_int
+                         ? current_rack
+                         : static_cast<RackId>(best_int *
+                                               topo_->racks_per_intermediate());
+  for (RackId r = static_cast<RackId>(best_int *
+                                      topo_->racks_per_intermediate());
+       r < (best_int + 1) * topo_->racks_per_intermediate(); ++r) {
+    if (rack_counts[r] > rack_counts[best_rack]) best_rack = r;
+  }
+  return topo_->broker_of_rack(best_rack);
+}
+
+void Engine::MaybeMigrateReadProxy(UserId u,
+                                   std::span<const ServerId> accessed,
+                                   SimTime t) {
+  ViewInfo& info = registry_.info(u);
+  const BrokerId best = BestBrokerFor(accessed, info.read_proxy);
+  if (best == info.read_proxy) return;
+  // Proxy state transfer between brokers.
+  traffic_.Record(topo_->PathBrokerBroker(info.read_proxy, best),
+                  config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+  info.read_proxy = best;
+  ++counters_.read_proxy_migrations;
+}
+
+void Engine::MaybeMigrateWriteProxy(UserId u, SimTime t) {
+  ViewInfo& info = registry_.info(u);
+  const BrokerId best =
+      BestBrokerFor(registry_.info(u).replicas, info.write_proxy);
+  if (best == info.write_proxy) return;
+  // State transfer plus a notification to every replica server, which store
+  // their write proxy's location (§3.2).
+  traffic_.Record(topo_->PathBrokerBroker(info.write_proxy, best),
+                  config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+  for (ServerId s : info.replicas) {
+    traffic_.Record(topo_->PathBrokerServer(best, s),
+                    config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+  }
+  info.write_proxy = best;
+  ++counters_.write_proxy_migrations;
+}
+
+// ----- Adaptation (Algorithms 2 and 3) -----
+
+void Engine::RefreshRackCache(RackId r) const {
+  RackCache& cache = rack_cache_[r];
+  cache.first = kInvalidServer;
+  cache.second = kInvalidServer;
+  for (ServerId s = topo_->rack_server_begin(r); s < topo_->rack_server_end(r);
+       ++s) {
+    if (servers_[s].Full()) continue;
+    if (cache.first == kInvalidServer ||
+        servers_[s].used() < servers_[cache.first].used()) {
+      cache.second = cache.first;
+      cache.first = s;
+    } else if (cache.second == kInvalidServer ||
+               servers_[s].used() < servers_[cache.second].used()) {
+      cache.second = s;
+    }
+  }
+  cache.dirty = false;
+}
+
+ServerId Engine::RackCandidate(RackId r, ViewId v) const {
+  const RackCache& cache = rack_cache_[r];
+  if (cache.dirty) RefreshRackCache(r);
+  if (cache.first != kInvalidServer && !servers_[cache.first].Has(v)) {
+    return cache.first;
+  }
+  if (cache.second != kInvalidServer && !servers_[cache.second].Has(v)) {
+    return cache.second;
+  }
+  // Both least-loaded servers hold the view already: fall back to a scan.
+  ServerId best = kInvalidServer;
+  for (ServerId s = topo_->rack_server_begin(r); s < topo_->rack_server_end(r);
+       ++s) {
+    if (servers_[s].Full() || servers_[s].Has(v)) continue;
+    if (best == kInvalidServer || servers_[s].used() < servers_[best].used()) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+Engine::OriginScan Engine::ScanOrigin(ServerId owner, std::uint16_t origin,
+                                      ViewId v) const {
+  OriginScan scan;
+  const auto [rack_lo, rack_hi] =
+      topo_->OriginRackRange(owner, origin, config_.exact_origins);
+  for (RackId r = rack_lo; r < rack_hi; ++r) {
+    const ServerId candidate = RackCandidate(r, v);
+    if (candidate == kInvalidServer) continue;
+    if (scan.least_loaded == kInvalidServer ||
+        servers_[candidate].used() < servers_[scan.least_loaded].used()) {
+      scan.least_loaded = candidate;
+    }
+  }
+  // The admission bar is the candidate server's own threshold (the
+  // least-loaded server is also the one whose threshold the brokers learn
+  // through the rack-minimum piggybacking of §3.2).
+  if (scan.least_loaded != kInvalidServer) {
+    scan.min_threshold = servers_[scan.least_loaded].admission_threshold();
+  }
+  return scan;
+}
+
+void Engine::MaybeAdapt(ViewId v, ServerId s, SimTime t) {
+  if (config_.enable_replication && TryReplicate(v, s, t)) return;
+  if (config_.enable_migration) TryMigrate(v, s, t);
+}
+
+bool Engine::TryReplicate(ViewId v, ServerId s, SimTime t) {
+  const store::ReplicaStats* stats = servers_[s].Find(v);
+  assert(stats != nullptr);
+  stats->CollectReads(origin_scratch_);
+  if (origin_scratch_.empty()) return false;
+
+  const double writes = stats->TotalWrites();
+  const RackId wrack = write_rack(v);
+
+  double best_profit = 0;
+  ServerId best_target = kInvalidServer;
+  std::uint16_t best_origin = kNoOrigin;
+  for (const auto& [origin, reads] : origin_scratch_) {
+    const int cost_here =
+        topo_->OriginCost(s, origin, s, config_.exact_origins);
+    if (cost_here <= 1) continue;  // already as local as it gets
+    const OriginScan scan = ScanOrigin(s, origin, v);
+    if (scan.least_loaded == kInvalidServer) continue;
+    const int cost_there =
+        topo_->OriginCost(s, origin, scan.least_loaded, config_.exact_origins);
+    if (cost_there >= cost_here) continue;
+    // Only the origin's reads reroute to the new replica; the gain is their
+    // locality improvement minus the cost of keeping one more copy updated.
+    const double profit =
+        static_cast<double>(reads) * (cost_here - cost_there) -
+        writes * topo_->RackToServerCost(wrack, scan.least_loaded);
+    if (profit > scan.min_threshold && profit > best_profit) {
+      best_profit = profit;
+      best_target = scan.least_loaded;
+      best_origin = origin;
+    }
+  }
+  if (best_target == kInvalidServer) return false;
+  CreateReplica(v, best_target, s, t, /*move_stats=*/false, best_origin);
+  ++counters_.replicas_created;
+  return true;
+}
+
+void Engine::TryMigrate(ViewId v, ServerId s, SimTime t) {
+  const store::ReplicaStats* stats = servers_[s].Find(v);
+  assert(stats != nullptr);
+
+  const bool pinned = Pinned(v);
+  ServerId nearest = registry_.NextClosestReplica(s, v, *topo_);
+  if (nearest == kInvalidServer) nearest = s;  // sole replica: compare moves
+
+  const RackId wrack = write_rack(v);
+  double best_profit = EstimateProfit(*topo_, config_.exact_origins, *stats,
+                                      s, s, nearest, wrack, origin_scratch_);
+  const double own_utility = best_profit;
+  ServerId best_position = s;
+
+  stats->CollectReads(origin_scratch_);
+  // CollectReads refilled the scratch; keep a stable copy for iteration
+  // because EstimateProfit reuses the buffer.
+  std::vector<store::ReplicaStats::OriginReads> origins = origin_scratch_;
+  // A view read from very many distinct origins has no single better
+  // position (the flat topology exposes up to one origin per machine);
+  // evaluating every candidate would also make Algorithm 3 quadratic in the
+  // origin count. The tree topology's n + m - 1 origins stay well below
+  // this cap.
+  constexpr std::size_t kMaxMigrationOrigins = 24;
+  if (origins.size() <= kMaxMigrationOrigins) {
+    for (const auto& [origin, reads] : origins) {
+      (void)reads;
+      const OriginScan scan = ScanOrigin(s, origin, v);
+      if (scan.least_loaded == kInvalidServer) continue;
+      const double profit =
+          EstimateProfit(*topo_, config_.exact_origins, *stats, s,
+                         scan.least_loaded, nearest, wrack, origin_scratch_);
+      if (profit > best_profit && profit > scan.min_threshold) {
+        best_profit = profit;
+        best_position = scan.least_loaded;
+      }
+    }
+  }
+
+  if (best_position == s) {
+    // Algorithm 3: a replica whose utility is negative and has no better
+    // position is removed (never the last copy).
+    if (!pinned && own_utility < 0) {
+      DropReplica(v, s, t);
+      ++counters_.replicas_dropped;
+      ++counters_.drops_negative;
+    }
+    return;
+  }
+  CreateReplica(v, best_position, s, t, /*move_stats=*/true);
+  DropReplica(v, s, t);
+  ++counters_.migrations;
+}
+
+// ----- Replica set changes -----
+
+void Engine::SnapshotClosest(ViewId v, std::vector<ServerId>& out) const {
+  out.clear();
+  out.reserve(topo_->num_brokers());
+  for (BrokerId b = 0; b < topo_->num_brokers(); ++b) {
+    out.push_back(registry_.ClosestReplica(b, v, *topo_));
+  }
+}
+
+void Engine::NotifyRoutingChange(ViewId v,
+                                 std::span<const ServerId> closest_before,
+                                 SimTime t) {
+  const BrokerId wp = registry_.info(v).write_proxy;
+  for (BrokerId b = 0; b < topo_->num_brokers(); ++b) {
+    if (registry_.ClosestReplica(b, v, *topo_) != closest_before[b]) {
+      traffic_.Record(topo_->PathBrokerBroker(wp, b),
+                      config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+    }
+  }
+}
+
+std::vector<std::uint16_t> Engine::RemapOrigin(ServerId source,
+                                               ServerId target,
+                                               std::uint16_t origin) const {
+  std::vector<std::uint16_t> mapped;
+  const auto [lo, hi] =
+      topo_->OriginRackRange(source, origin, config_.exact_origins);
+  mapped.reserve(hi - lo);
+  for (RackId r = lo; r < hi; ++r) {
+    const std::uint16_t idx =
+        topo_->OriginIndex(target, r, config_.exact_origins);
+    if (std::find(mapped.begin(), mapped.end(), idx) == mapped.end()) {
+      mapped.push_back(idx);
+    }
+  }
+  return mapped;
+}
+
+void Engine::CreateReplica(ViewId v, ServerId target, ServerId source,
+                           SimTime t, bool move_stats,
+                           std::uint16_t seed_origin) {
+  assert(!servers_[target].Full());
+  assert(!servers_[target].Has(v));
+  const BrokerId wp = registry_.info(v).write_proxy;
+
+  // Replication request to the write proxy (the synchronization point for
+  // all replica-set changes, §3.2), its instruction back to the source, and
+  // the view copy itself.
+  traffic_.Record(topo_->PathBrokerServer(wp, source),
+                  config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+  traffic_.Record(topo_->PathBrokerServer(wp, source),
+                  config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+  traffic_.Record(topo_->PathServerServer(source, target),
+                  config_.traffic.view_copy_size, net::MsgClass::kSystem, t);
+
+  SnapshotClosest(v, closest_scratch_);
+  const bool inserted = servers_[target].Insert(v);
+  assert(inserted);
+  (void)inserted;
+  TouchServer(target);
+  registry_.AddReplica(v, target);
+  registry_.info(v).last_change_slot = current_slot_;
+  NotifyRoutingChange(v, closest_scratch_, t);
+
+  if (move_stats) {
+    const store::ReplicaStats* source_stats = servers_[source].Find(v);
+    store::ReplicaStats* target_stats = servers_[target].Find(v);
+    assert(source_stats != nullptr && target_stats != nullptr);
+    // Re-map origins from the source's frame to the target's: fine-grained
+    // rack entries that leave the target's sub-tree collapse into its
+    // aggregates, and incoming aggregates spread across their racks.
+    target_stats->MergeRemapped(*source_stats, [&](std::uint16_t origin) {
+      return RemapOrigin(source, target, origin);
+    });
+  } else if (seed_origin != kNoOrigin) {
+    // The new replica takes over `seed_origin`'s reads: move that slice of
+    // the access log with it so its utility reflects the traffic it now
+    // serves (an empty log would read as useless at the next tick).
+    store::ReplicaStats* source_stats = servers_[source].Find(v);
+    store::ReplicaStats* target_stats = servers_[target].Find(v);
+    assert(source_stats != nullptr && target_stats != nullptr);
+    const std::uint32_t reads = source_stats->ExtractOrigin(seed_origin);
+    if (reads > 0) {
+      const std::vector<std::uint16_t> mapped =
+          RemapOrigin(source, target, seed_origin);
+      const auto share =
+          static_cast<std::uint32_t>(reads / std::max<std::size_t>(
+                                                 1, mapped.size()));
+      std::uint32_t remainder =
+          reads - share * static_cast<std::uint32_t>(mapped.size());
+      for (std::uint16_t idx : mapped) {
+        std::uint32_t amount = share + (remainder > 0 ? 1 : 0);
+        if (remainder > 0) --remainder;
+        if (amount > 0) target_stats->RecordRead(idx, amount);
+      }
+    }
+  }
+
+  if (config_.store.payload_mode) {
+    const store::ViewData* source_data = servers_[source].FindData(v);
+    store::ViewData* target_data = servers_[target].FindData(v);
+    if (source_data != nullptr && target_data != nullptr) {
+      target_data->ReplaceWith(source_data->events());
+    }
+  }
+}
+
+void Engine::DropReplica(ViewId v, ServerId s, SimTime t) {
+  assert(registry_.ReplicaCount(v) > 1);
+  const BrokerId wp = registry_.info(v).write_proxy;
+  // Eviction request to the write proxy and its acknowledgment (§3.2: the
+  // write proxy serializes evictions so at least one replica survives).
+  traffic_.Record(topo_->PathBrokerServer(wp, s),
+                  config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+  traffic_.Record(topo_->PathBrokerServer(wp, s),
+                  config_.traffic.sys_msg_size, net::MsgClass::kSystem, t);
+
+  // The dropped replica's reads reroute to the next closest copy: its
+  // access history travels there (piggybacked on the eviction messages) so
+  // the surviving replica's utility stays accurate instead of the window
+  // restarting from zero.
+  const ServerId heir = registry_.NextClosestReplica(s, v, *topo_);
+  if (heir != kInvalidServer) {
+    const store::ReplicaStats* from = servers_[s].Find(v);
+    store::ReplicaStats* to = servers_[heir].Find(v);
+    if (from != nullptr && to != nullptr) {
+      to->MergeRemapped(
+          *from,
+          [&](std::uint16_t origin) { return RemapOrigin(s, heir, origin); },
+          /*include_writes=*/false);
+    }
+  }
+
+  SnapshotClosest(v, closest_scratch_);
+  servers_[s].Erase(v);
+  TouchServer(s);
+  registry_.RemoveReplica(v, s);
+  registry_.info(v).last_change_slot = current_slot_;
+  NotifyRoutingChange(v, closest_scratch_, t);
+}
+
+// ----- Periodic maintenance (§3.2) -----
+
+void Engine::RecomputeUtilities(ServerId s) {
+  store::StoreServer& server = servers_[s];
+  for (ViewId v : server.SortedViews()) {
+    if (Pinned(v)) {
+      server.set_utility(v, store::kInfiniteUtility);
+      continue;
+    }
+    const ServerId nearest = registry_.NextClosestReplica(s, v, *topo_);
+    assert(nearest != kInvalidServer);
+    const store::ReplicaStats* stats = server.Find(v);
+    server.set_utility(
+        v, EstimateProfit(*topo_, config_.exact_origins, *stats, s, s,
+                          nearest, write_rack(v), origin_scratch_));
+  }
+}
+
+void Engine::UpdateThresholdAndEvict(ServerId s, SimTime t) {
+  store::StoreServer& server = servers_[s];
+
+  // Views with negative utility are automatically removed (§3.2).
+  for (ViewId v : server.SortedViews()) {
+    if (!Pinned(v) && server.utility(v) < 0) {
+      DropReplica(v, s, t);
+      ++counters_.replicas_dropped;
+      ++counters_.drops_negative;
+    }
+  }
+
+  // Admission threshold: the utility of the view at the threshold_fill
+  // percentile of *capacity*, or 0 while the server has room below it.
+  std::vector<double> utilities;
+  utilities.reserve(server.used());
+  for (ViewId v : server.SortedViews()) utilities.push_back(server.utility(v));
+  const auto fill_slots = static_cast<std::size_t>(
+      std::ceil(config_.store.threshold_fill * server.capacity()));
+  if (utilities.size() < fill_slots || fill_slots == 0) {
+    server.set_admission_threshold(0);
+  } else {
+    std::sort(utilities.begin(), utilities.end(), std::greater<double>());
+    server.set_admission_threshold(utilities[fill_slots - 1]);
+  }
+
+  // Proactive eviction keeps memory available above the watermark.
+  while (server.AboveWatermark()) {
+    ViewId victim = kInvalidView;
+    double victim_utility = store::kInfiniteUtility;
+    for (ViewId v : server.SortedViews()) {
+      if (Pinned(v)) continue;
+      if (server.utility(v) < victim_utility) {
+        victim_utility = server.utility(v);
+        victim = v;
+      }
+    }
+    if (victim == kInvalidView) break;  // everything left is pinned
+    DropReplica(victim, s, t);
+    ++counters_.replicas_dropped;
+    ++counters_.evictions_watermark;
+  }
+}
+
+void Engine::Tick(SimTime t) {
+  ++current_slot_;
+  if (!config_.adaptive) return;
+  for (auto& server : servers_) server.RotateCounters();
+  for (ServerId s = 0; s < servers_.size(); ++s) RecomputeUtilities(s);
+  for (ServerId s = 0; s < servers_.size(); ++s) UpdateThresholdAndEvict(s, t);
+}
+
+// ----- Cluster management -----
+
+void Engine::CrashServer(ServerId s, SimTime t) {
+  store::StoreServer& server = servers_[s];
+  const std::vector<ViewId> lost = server.SortedViews();
+  for (ViewId v : lost) {
+    SnapshotClosest(v, closest_scratch_);
+    registry_.RemoveReplica(v, s);
+    registry_.info(v).last_change_slot = current_slot_;
+    if (registry_.ReplicaCount(v) == 0) {
+      // Rebuild from the persistent store onto the crashed server's rack
+      // (or the least-loaded server anywhere if the rack is full).
+      const RackId rack = topo_->rack_of_server(s);
+      ServerId target = kInvalidServer;
+      for (ServerId cand = topo_->rack_server_begin(rack);
+           cand < topo_->rack_server_end(rack); ++cand) {
+        if (cand == s || servers_[cand].Full()) continue;
+        if (target == kInvalidServer ||
+            servers_[cand].used() < servers_[target].used()) {
+          target = cand;
+        }
+      }
+      if (target == kInvalidServer) {
+        for (ServerId cand = 0; cand < servers_.size(); ++cand) {
+          if (cand == s || servers_[cand].Full()) continue;
+          if (target == kInvalidServer ||
+              servers_[cand].used() < servers_[target].used()) {
+            target = cand;
+          }
+        }
+      }
+      assert(target != kInvalidServer && "cluster has no space to recover");
+      const bool inserted = servers_[target].Insert(v);
+      assert(inserted);
+      (void)inserted;
+      TouchServer(target);
+      registry_.AddReplica(v, target);
+      if (config_.store.payload_mode && persist_ != nullptr) {
+        if (store::ViewData* data = servers_[target].FindData(v)) {
+          data->ReplaceWith(persist_->FetchView(v));
+        }
+      }
+      ++counters_.crash_rebuilds;
+    }
+    NotifyRoutingChange(v, closest_scratch_, t);
+  }
+  // The machine restarts empty with the same capacity.
+  servers_[s] = store::StoreServer(s, config_.store);
+  TouchServer(s);
+}
+
+ViewId Engine::AddUser() {
+  ServerId target = 0;
+  for (ServerId s = 1; s < servers_.size(); ++s) {
+    if (servers_[s].used() < servers_[target].used()) target = s;
+  }
+  const bool inserted = servers_[target].Insert(registry_.num_views());
+  assert(inserted && "no capacity for a new user");
+  (void)inserted;
+  TouchServer(target);
+  return registry_.AddView(
+      target, topo_->broker_of_rack(topo_->rack_of_server(target)));
+}
+
+}  // namespace dynasore::core

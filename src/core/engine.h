@@ -1,0 +1,208 @@
+// The DynaSoRe engine (paper §3): executes reads and writes through per-user
+// proxies, records per-replica access statistics, and adapts the placement
+// of view replicas — creation (Algorithm 2), migration/removal (Algorithm
+// 3), proactive eviction, and proxy migration — charging every message the
+// distributed system would send to the traffic recorder.
+//
+// With `adaptive = false` the same engine executes the static baselines
+// (Random/METIS/hMETIS/SPAR placements): closest-replica routing and
+// write-all-replicas fan-out without any adaptation machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/registry.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "persist/persistent_store.h"
+#include "placement/placement.h"
+#include "store/store_server.h"
+
+namespace dynasore::core {
+
+struct EngineConfig {
+  net::TrafficConfig traffic;
+  store::StoreConfig store;
+  bool adaptive = true;
+  bool enable_replication = true;   // Algorithm 2
+  bool enable_migration = true;     // Algorithm 3
+  bool enable_proxy_migration = true;
+  // Ablation: track one origin per rack globally instead of the paper's
+  // coarsened n + m - 1 origins.
+  bool exact_origins = false;
+  std::uint32_t slot_seconds = static_cast<std::uint32_t>(kSecondsPerHour);
+};
+
+struct EngineCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t view_reads = 0;        // individual views fetched
+  std::uint64_t replica_updates = 0;   // per-replica write fan-out
+  std::uint64_t replicas_created = 0;
+  std::uint64_t replicas_dropped = 0;   // all causes below
+  std::uint64_t evictions_watermark = 0;
+  std::uint64_t drops_negative = 0;     // negative utility (tick or Alg 3)
+  std::uint64_t migrations = 0;
+  std::uint64_t read_proxy_migrations = 0;
+  std::uint64_t write_proxy_migrations = 0;
+  std::uint64_t crash_rebuilds = 0;
+};
+
+class Engine {
+ public:
+  Engine(const net::Topology& topo, const place::PlacementResult& initial,
+         const EngineConfig& config);
+
+  // ----- Request execution (the paper's Read/Write API, §3.1) -----
+
+  // Read(u, L): fetches the views in `targets` through u's read proxy.
+  // When `feed_out` is non-null (payload mode) the fetched events are
+  // appended to it.
+  void ExecuteRead(UserId reader, std::span<const ViewId> targets, SimTime t,
+                   std::vector<store::Event>* feed_out = nullptr);
+
+  // Write(u): updates every replica of u's view through u's write proxy,
+  // fetching the new version from the attached persistent store in payload
+  // mode (§3.3 cache-coherence protocol).
+  void ExecuteWrite(UserId writer, SimTime t);
+
+  // Advances the statistics window: rotates counters, recomputes utilities
+  // and admission thresholds, drops negative-utility replicas, and runs the
+  // proactive eviction sweep (§3.2). Call once per slot_seconds.
+  void Tick(SimTime t);
+
+  // ----- Cluster and user management -----
+
+  // A server crashes and loses its memory: replicas elsewhere take over;
+  // sole views are rebuilt from the persistent store onto the same rack
+  // (§2.2, §3.3).
+  void CrashServer(ServerId s, SimTime t);
+
+  // Registers a new user: her view lands on the least-loaded server and her
+  // proxies on that rack's broker (§3.3 "Managing the social network").
+  ViewId AddUser();
+
+  void AttachPersistentStore(const persist::PersistentStore* persist) {
+    persist_ = persist;
+  }
+
+  // ----- Introspection -----
+
+  const net::Topology& topology() const { return *topo_; }
+  net::TrafficRecorder& traffic() { return traffic_; }
+  const net::TrafficRecorder& traffic() const { return traffic_; }
+  const ViewRegistry& registry() const { return registry_; }
+  const store::StoreServer& server(ServerId s) const { return servers_[s]; }
+  const EngineCounters& counters() const { return counters_; }
+  const EngineConfig& config() const { return config_; }
+
+  std::uint32_t ReplicaCount(ViewId v) const {
+    return registry_.ReplicaCount(v);
+  }
+  BrokerId read_proxy(UserId u) const { return registry_.info(u).read_proxy; }
+  BrokerId write_proxy(UserId u) const {
+    return registry_.info(u).write_proxy;
+  }
+
+  std::uint64_t TotalUsed() const;
+  std::uint64_t TotalCapacity() const;
+
+  // Fig 5 instrumentation: reads of one watched view since the last Take.
+  void SetWatchedView(ViewId v) { watched_view_ = v; }
+  std::uint64_t TakeWatchedReads();
+
+ private:
+  struct OriginScan {
+    ServerId least_loaded = kInvalidServer;
+    double min_threshold = 0;
+  };
+
+  RackId write_rack(ViewId v) const {
+    return topo_->rack_of_broker(registry_.info(v).write_proxy);
+  }
+
+  bool Pinned(ViewId v) const {
+    return registry_.ReplicaCount(v) <= config_.store.min_replicas_pin;
+  }
+
+  bool InCooldown(ViewId v) const {
+    return registry_.info(v).last_change_slot == current_slot_;
+  }
+
+  // Least-loaded non-full server in the origin sub-tree that does not hold
+  // `v` yet, plus that candidate's admission threshold (the value the
+  // piggybacking of §3.2 disseminates).
+  OriginScan ScanOrigin(ServerId owner, std::uint16_t origin, ViewId v) const;
+
+  // Per-rack cache of the two least-loaded non-full servers, refreshed
+  // lazily after any load change in the rack. ScanOrigin runs on every read
+  // (Algorithms 2/3); without the cache it rescans whole sub-trees.
+  struct RackCache {
+    ServerId first = kInvalidServer;
+    ServerId second = kInvalidServer;
+    bool dirty = true;
+  };
+  void TouchServer(ServerId s) {
+    rack_cache_[topo_->rack_of_server(s)].dirty = true;
+  }
+  void RefreshRackCache(RackId r) const;
+  // Least-loaded eligible server of one rack (excludes full servers and
+  // holders of `v`).
+  ServerId RackCandidate(RackId r, ViewId v) const;
+
+  void MaybeAdapt(ViewId v, ServerId s, SimTime t);
+  bool TryReplicate(ViewId v, ServerId s, SimTime t);  // Algorithm 2
+  void TryMigrate(ViewId v, ServerId s, SimTime t);    // Algorithm 3
+
+  static constexpr std::uint16_t kNoOrigin = 0xFFFF;
+
+  // Creates a replica of `v` on `target`, copied from `source`. With
+  // `move_stats` the whole access log migrates (Algorithm 3); with a
+  // `seed_origin` only that origin's read history moves (Algorithm 2: the
+  // new replica takes over exactly that origin's traffic, so starting it
+  // with an empty log would get it dropped as useless at the next tick and
+  // recreated on the next read — a thrash loop).
+  void CreateReplica(ViewId v, ServerId target, ServerId source, SimTime t,
+                     bool move_stats, std::uint16_t seed_origin = kNoOrigin);
+  std::vector<std::uint16_t> RemapOrigin(ServerId source, ServerId target,
+                                         std::uint16_t origin) const;
+  void DropReplica(ViewId v, ServerId s, SimTime t);
+  // Charges one protocol message from the write proxy to every broker whose
+  // closest replica changed (routing-table maintenance, §3.2).
+  void NotifyRoutingChange(ViewId v, std::span<const ServerId> closest_before,
+                           SimTime t);
+  void SnapshotClosest(ViewId v, std::vector<ServerId>& out) const;
+
+  void MaybeMigrateReadProxy(UserId u, std::span<const ServerId> accessed,
+                             SimTime t);
+  void MaybeMigrateWriteProxy(UserId u, SimTime t);
+  BrokerId BestBrokerFor(std::span<const ServerId> accessed,
+                         BrokerId current) const;
+
+  void RecomputeUtilities(ServerId s);
+  void UpdateThresholdAndEvict(ServerId s, SimTime t);
+
+  const net::Topology* topo_;
+  EngineConfig config_;
+  ViewRegistry registry_;
+  std::vector<store::StoreServer> servers_;
+  net::TrafficRecorder traffic_;
+  const persist::PersistentStore* persist_ = nullptr;
+  EngineCounters counters_;
+  std::uint32_t current_slot_ = 0;
+
+  ViewId watched_view_ = kInvalidView;
+  std::uint64_t watched_reads_ = 0;
+
+  // Scratch buffers reused across requests.
+  mutable std::vector<store::ReplicaStats::OriginReads> origin_scratch_;
+  std::vector<ServerId> accessed_scratch_;
+  std::vector<ServerId> closest_scratch_;
+  mutable std::vector<std::uint32_t> flat_counts_;
+  mutable std::vector<RackCache> rack_cache_;
+};
+
+}  // namespace dynasore::core

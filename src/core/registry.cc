@@ -1,0 +1,89 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynasore::core {
+
+ViewRegistry::ViewRegistry(const place::PlacementResult& placement,
+                           const net::Topology& topo) {
+  views_.resize(placement.replicas.size());
+  for (ViewId v = 0; v < views_.size(); ++v) {
+    ViewInfo& info = views_[v];
+    info.replicas = placement.replicas[v];
+    assert(std::is_sorted(info.replicas.begin(), info.replicas.end()));
+    assert(!info.replicas.empty());
+    const BrokerId broker =
+        topo.broker_of_rack(topo.rack_of_server(placement.master[v]));
+    info.read_proxy = broker;
+    info.write_proxy = broker;
+  }
+}
+
+bool ViewRegistry::HasReplica(ViewId v, ServerId s) const {
+  const auto& r = views_[v].replicas;
+  return std::binary_search(r.begin(), r.end(), s);
+}
+
+ServerId ViewRegistry::ClosestReplica(BrokerId b, ViewId v,
+                                      const net::Topology& topo) const {
+  const auto& replicas = views_[v].replicas;
+  assert(!replicas.empty());
+  ServerId best = replicas.front();
+  int best_distance = topo.Distance(b, best);
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    const int d = topo.Distance(b, replicas[i]);
+    if (d < best_distance) {  // ids ascend, so ties keep the lower id
+      best_distance = d;
+      best = replicas[i];
+    }
+  }
+  return best;
+}
+
+ServerId ViewRegistry::NextClosestReplica(ServerId s, ViewId v,
+                                          const net::Topology& topo) const {
+  ServerId best = kInvalidServer;
+  int best_distance = 1 << 20;
+  for (ServerId replica : views_[v].replicas) {
+    if (replica == s) continue;
+    const int d = topo.ServerDistance(s, replica);
+    if (d < best_distance) {
+      best_distance = d;
+      best = replica;
+    }
+  }
+  return best;
+}
+
+void ViewRegistry::AddReplica(ViewId v, ServerId s) {
+  auto& r = views_[v].replicas;
+  const auto it = std::lower_bound(r.begin(), r.end(), s);
+  assert(it == r.end() || *it != s);
+  r.insert(it, s);
+}
+
+void ViewRegistry::RemoveReplica(ViewId v, ServerId s) {
+  auto& r = views_[v].replicas;
+  const auto it = std::lower_bound(r.begin(), r.end(), s);
+  assert(it != r.end() && *it == s);
+  r.erase(it);
+}
+
+ViewId ViewRegistry::AddView(ServerId home, BrokerId proxy_broker) {
+  ViewInfo info;
+  info.replicas = {home};
+  info.read_proxy = proxy_broker;
+  info.write_proxy = proxy_broker;
+  views_.push_back(std::move(info));
+  return static_cast<ViewId>(views_.size() - 1);
+}
+
+double ViewRegistry::AvgReplicas() const {
+  if (views_.empty()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& info : views_) total += info.replicas.size();
+  return static_cast<double>(total) / static_cast<double>(views_.size());
+}
+
+}  // namespace dynasore::core

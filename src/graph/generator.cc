@@ -1,0 +1,157 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dynasore::graph {
+
+using common::PowerLawSampler;
+using common::Rng;
+
+namespace {
+
+struct Communities {
+  std::vector<std::uint32_t> of_user;             // user -> community id
+  std::vector<std::vector<UserId>> members;       // community -> users
+};
+
+Communities AssignCommunities(const GraphGenConfig& config, Rng& rng) {
+  const std::uint32_t n = config.num_users;
+  const std::uint32_t max_size =
+      std::min(config.max_community, std::max(config.min_community + 1, n));
+  PowerLawSampler sizes(config.min_community, max_size,
+                        config.community_exponent);
+
+  // Random permutation so community membership is uncorrelated with user id
+  // (real datasets are not id-sorted by community either).
+  std::vector<UserId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  Communities result;
+  result.of_user.assign(n, 0);
+  std::uint32_t next = 0;
+  while (next < n) {
+    const std::uint32_t want = sizes.Sample(rng);
+    const std::uint32_t take = std::min(want, n - next);
+    std::vector<UserId> members(order.begin() + next,
+                                order.begin() + next + take);
+    const auto community = static_cast<std::uint32_t>(result.members.size());
+    for (UserId u : members) result.of_user[u] = community;
+    result.members.push_back(std::move(members));
+    next += take;
+  }
+  return result;
+}
+
+// Per-user target stub counts scaled so their sum hits the global target.
+std::vector<std::uint32_t> DrawDegrees(const GraphGenConfig& config,
+                                       Rng& rng) {
+  const std::uint32_t n = config.num_users;
+  const auto max_degree = static_cast<std::uint32_t>(
+      std::max(8.0, std::sqrt(static_cast<double>(n)) * 8.0));
+  PowerLawSampler degrees(1, max_degree, config.degree_exponent);
+
+  std::vector<std::uint32_t> draw(n);
+  std::uint64_t total = 0;
+  for (auto& d : draw) {
+    d = degrees.Sample(rng);
+    total += d;
+  }
+  const double target = config.links_per_user * static_cast<double>(n);
+  const double scale = target / static_cast<double>(total);
+  std::vector<std::uint32_t> result(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const double want = draw[u] * scale;
+    auto base = static_cast<std::uint32_t>(want);
+    if (rng.NextDouble() < want - base) ++base;
+    result[u] = base;
+  }
+  return result;
+}
+
+}  // namespace
+
+SocialGraph GenerateCommunityGraph(const GraphGenConfig& config) {
+  assert(config.num_users >= 2);
+  Rng rng(config.seed);
+  const std::uint32_t n = config.num_users;
+
+  const Communities communities = AssignCommunities(config, rng);
+  const std::vector<std::uint32_t> degrees = DrawDegrees(config, rng);
+
+  // Preferential-attachment pool: every user once, plus every chosen global
+  // target again (rich get richer).
+  std::vector<UserId> pa_pool;
+  pa_pool.reserve(n * 2);
+  for (UserId u = 0; u < n; ++u) pa_pool.push_back(u);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(config.links_per_user * n * 1.05));
+
+  const auto num_communities =
+      static_cast<std::uint32_t>(communities.members.size());
+  const common::PowerLawSampler ring_distance(
+      1, std::max(2u, num_communities - 1), 2.0);
+
+  std::vector<UserId> picked;  // per-user target scratch, kept sorted
+  for (UserId u = 0; u < n; ++u) {
+    picked.clear();
+    const std::uint32_t home_id = communities.of_user[u];
+    const auto& home = communities.members[home_id];
+    auto try_add = [&](UserId v) {
+      if (v == u) return false;
+      const auto it = std::lower_bound(picked.begin(), picked.end(), v);
+      if (it != picked.end() && *it == v) return false;
+      picked.insert(it, v);
+      return true;
+    };
+    for (std::uint32_t stub = 0; stub < degrees[u]; ++stub) {
+      bool placed = false;
+      const bool want_local = home.size() > 1 && !rng.NextBool(config.mixing);
+      if (want_local) {
+        for (int attempt = 0; attempt < 6 && !placed; ++attempt) {
+          const UserId v =
+              home[static_cast<std::size_t>(rng.NextBounded(home.size()))];
+          placed = try_add(v);
+        }
+      } else if (num_communities > 1 &&
+                 rng.NextBool(config.near_community_bias)) {
+        // Nearby community on the ring: communities form regions.
+        for (int attempt = 0; attempt < 4 && !placed; ++attempt) {
+          const std::uint32_t d = ring_distance.Sample(rng);
+          const std::uint32_t c =
+              rng.NextBool(0.5)
+                  ? (home_id + d) % num_communities
+                  : (home_id + num_communities - d % num_communities) %
+                        num_communities;
+          const auto& other = communities.members[c];
+          const UserId v =
+              other[static_cast<std::size_t>(rng.NextBounded(other.size()))];
+          placed = try_add(v);
+        }
+      }
+      for (int attempt = 0; attempt < 6 && !placed; ++attempt) {
+        const UserId v =
+            pa_pool[static_cast<std::size_t>(rng.NextBounded(pa_pool.size()))];
+        placed = try_add(v);
+      }
+      // A stub that found no free endpoint after all attempts is dropped;
+      // this only happens in pathologically dense corners.
+    }
+    // Emit edges for everything picked.
+    for (UserId v : picked) {
+      edges.push_back(Edge{u, v});
+      pa_pool.push_back(v);
+    }
+  }
+
+  return SocialGraph::FromEdges(n, edges, config.directed);
+}
+
+}  // namespace dynasore::graph

@@ -1,0 +1,41 @@
+// Seeded social-graph generator producing the two properties the paper's
+// evaluation depends on: heavy-tailed degree distributions (Huberman-style
+// activity is proportional to log degree) and community structure (what
+// METIS/hMETIS exploit). It stands in for the Twitter/Facebook/LiveJournal
+// samples of Table 1, which are not redistributable.
+//
+// Construction: users are grouped into power-law-sized communities; each
+// user draws a power-law target degree; each stub connects inside the
+// community with probability (1 - mixing) and otherwise to a global
+// preferential-attachment pool, which produces hubs spanning communities.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/social_graph.h"
+
+namespace dynasore::graph {
+
+struct GraphGenConfig {
+  std::uint32_t num_users = 10000;
+  // Target links per user: directed edges per user for directed graphs,
+  // unordered pairs per user otherwise (matches Table 1's #links / #users).
+  double links_per_user = 10.0;
+  double degree_exponent = 2.3;
+  // Fraction of stubs wired outside the home community.
+  double mixing = 0.08;
+  double community_exponent = 2.0;
+  std::uint32_t min_community = 8;
+  std::uint32_t max_community = 256;
+  // Share of out-of-community stubs that go to a *nearby* community (ring
+  // distance drawn from a power law) rather than to a global hub. Nearby
+  // wiring gives the graph multi-scale structure: communities cluster into
+  // regions, which is what hierarchical partitioning exploits.
+  double near_community_bias = 0.7;
+  bool directed = false;
+  std::uint64_t seed = 1;
+};
+
+SocialGraph GenerateCommunityGraph(const GraphGenConfig& config);
+
+}  // namespace dynasore::graph

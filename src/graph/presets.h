@@ -1,0 +1,36 @@
+// Dataset presets mirroring Table 1 of the paper at a configurable scale.
+//
+//               # users   # links   directed
+//   Twitter       1.7M       5M       yes
+//   Facebook      3.0M      47M       no
+//   LiveJournal   4.8M      69M       no
+//
+// `scale` multiplies the user count; the links-per-user ratio is preserved,
+// so scale = 0.01 yields a 17k-user Twitter-shaped graph with ~50k edges.
+#pragma once
+
+#include <string>
+
+#include "graph/generator.h"
+#include "graph/social_graph.h"
+
+namespace dynasore::graph {
+
+enum class Dataset { kTwitter, kFacebook, kLiveJournal };
+
+struct DatasetSpec {
+  std::string name;
+  GraphGenConfig config;
+};
+
+DatasetSpec MakeDatasetSpec(Dataset dataset, double scale, std::uint64_t seed);
+
+SocialGraph GenerateDataset(Dataset dataset, double scale, std::uint64_t seed);
+
+// Parses "twitter" / "facebook" / "livejournal"; returns kFacebook for
+// anything unrecognized.
+Dataset ParseDataset(const std::string& name);
+
+std::string DatasetName(Dataset dataset);
+
+}  // namespace dynasore::graph

@@ -1,0 +1,126 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynasore::graph {
+
+namespace {
+
+// Builds a CSR from (from, to) pairs, sorting and de-duplicating per source.
+void BuildCsr(std::uint32_t num_users, std::vector<Edge>& edges,
+              std::vector<std::uint64_t>& offsets, std::vector<UserId>& adj) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  offsets.assign(num_users + 1, 0);
+  adj.clear();
+  adj.reserve(edges.size());
+  UserId prev_from = 0;
+  bool have_prev = false;
+  UserId prev_to = 0;
+  for (const Edge& e : edges) {
+    if (have_prev && e.from == prev_from && e.to == prev_to) continue;  // dup
+    adj.push_back(e.to);
+    ++offsets[e.from + 1];
+    prev_from = e.from;
+    prev_to = e.to;
+    have_prev = true;
+  }
+  for (std::uint32_t u = 0; u < num_users; ++u) offsets[u + 1] += offsets[u];
+}
+
+}  // namespace
+
+SocialGraph SocialGraph::FromEdges(std::uint32_t num_users,
+                                   std::span<const Edge> edges,
+                                   bool directed) {
+  SocialGraph g;
+  g.num_users_ = num_users;
+  g.directed_ = directed;
+
+  std::vector<Edge> forward;
+  forward.reserve(edges.size());
+  for (const Edge& e : edges) {
+    assert(e.from < num_users && e.to < num_users);
+    if (e.from == e.to) continue;
+    forward.push_back(e);
+    if (!directed) forward.push_back(Edge{e.to, e.from});
+  }
+  BuildCsr(num_users, forward, g.out_offsets_, g.out_adj_);
+
+  if (directed) {
+    std::vector<Edge> backward;
+    backward.reserve(g.out_adj_.size());
+    for (std::uint32_t u = 0; u < num_users; ++u) {
+      for (std::uint64_t i = g.out_offsets_[u]; i < g.out_offsets_[u + 1]; ++i) {
+        backward.push_back(Edge{g.out_adj_[i], u});
+      }
+    }
+    BuildCsr(num_users, backward, g.in_offsets_, g.in_adj_);
+    g.num_links_ = g.out_adj_.size();
+  } else {
+    g.in_offsets_ = g.out_offsets_;
+    g.in_adj_ = g.out_adj_;
+    g.num_links_ = g.out_adj_.size() / 2;
+  }
+  return g;
+}
+
+std::span<const UserId> SocialGraph::Followees(UserId u) const {
+  assert(u < num_users_);
+  return {out_adj_.data() + out_offsets_[u],
+          static_cast<std::size_t>(out_offsets_[u + 1] - out_offsets_[u])};
+}
+
+std::span<const UserId> SocialGraph::Followers(UserId u) const {
+  assert(u < num_users_);
+  return {in_adj_.data() + in_offsets_[u],
+          static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u])};
+}
+
+std::uint32_t SocialGraph::OutDegree(UserId u) const {
+  return static_cast<std::uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+}
+
+std::uint32_t SocialGraph::InDegree(UserId u) const {
+  return static_cast<std::uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
+}
+
+double SocialGraph::AvgOutDegree() const {
+  return num_users_ == 0
+             ? 0.0
+             : static_cast<double>(out_adj_.size()) / num_users_;
+}
+
+std::uint32_t SocialGraph::MaxInDegree() const {
+  std::uint32_t best = 0;
+  for (UserId u = 0; u < num_users_; ++u) best = std::max(best, InDegree(u));
+  return best;
+}
+
+std::uint32_t SocialGraph::MaxOutDegree() const {
+  std::uint32_t best = 0;
+  for (UserId u = 0; u < num_users_; ++u) best = std::max(best, OutDegree(u));
+  return best;
+}
+
+SocialGraph SocialGraph::AsUndirected() const {
+  if (!directed_) return *this;
+  std::vector<Edge> edges;
+  edges.reserve(out_adj_.size());
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (UserId v : Followees(u)) {
+      // Emit each unordered pair once; FromEdges symmetrizes.
+      if (u < v) {
+        edges.push_back(Edge{u, v});
+      } else if (!std::binary_search(Followees(v).begin(), Followees(v).end(),
+                                     u)) {
+        edges.push_back(Edge{v, u});
+      }
+    }
+  }
+  return FromEdges(num_users_, edges, /*directed=*/false);
+}
+
+}  // namespace dynasore::graph

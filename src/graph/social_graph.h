@@ -1,0 +1,64 @@
+// Immutable social graph in CSR form, with both adjacency directions.
+//
+// Semantics follow the paper's Twitter-style model: an edge u -> v means "u
+// follows v", so a read by u fetches the views of u's followees (out
+// neighbors) and a write by u must be visible to u's followers (in
+// neighbors). Undirected graphs (Facebook/LiveJournal-style friendships)
+// store each link in both directions, making followees == followers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynasore::graph {
+
+struct Edge {
+  UserId from = 0;
+  UserId to = 0;
+};
+
+class SocialGraph {
+ public:
+  SocialGraph() = default;
+
+  // Builds from an edge list. Self-loops are dropped and duplicate edges
+  // de-duplicated. For undirected graphs each input edge {u, v} appears in
+  // both users' adjacency.
+  static SocialGraph FromEdges(std::uint32_t num_users,
+                               std::span<const Edge> edges, bool directed);
+
+  std::uint32_t num_users() const { return num_users_; }
+  // Number of stored links: directed edges for directed graphs, unordered
+  // pairs for undirected ones.
+  std::uint64_t num_links() const { return num_links_; }
+  bool directed() const { return directed_; }
+
+  std::span<const UserId> Followees(UserId u) const;
+  std::span<const UserId> Followers(UserId u) const;
+
+  std::uint32_t OutDegree(UserId u) const;
+  std::uint32_t InDegree(UserId u) const;
+
+  double AvgOutDegree() const;
+  std::uint32_t MaxInDegree() const;
+  std::uint32_t MaxOutDegree() const;
+
+  // Symmetrized copy (union of both directions), used by the partitioner.
+  // Returns *this for graphs that are already undirected.
+  SocialGraph AsUndirected() const;
+
+ private:
+  std::uint32_t num_users_ = 0;
+  std::uint64_t num_links_ = 0;
+  bool directed_ = false;
+  std::vector<std::uint64_t> out_offsets_{0};
+  std::vector<UserId> out_adj_;
+  std::vector<std::uint64_t> in_offsets_{0};
+  std::vector<UserId> in_adj_;
+};
+
+}  // namespace dynasore::graph

@@ -1,0 +1,82 @@
+#include "net/traffic.h"
+
+#include <cassert>
+
+namespace dynasore::net {
+
+TrafficRecorder::TrafficRecorder(const Topology& topo,
+                                 const TrafficConfig& config)
+    : topo_(&topo), config_(config) {
+  assert(config_.bucket_seconds > 0);
+  for (auto& t : totals_) t.assign(topo.num_switches(), 0);
+}
+
+void TrafficRecorder::Record(const SwitchPath& path, std::uint32_t size,
+                             MsgClass cls, SimTime t) {
+  const auto c = static_cast<std::size_t>(cls);
+  const std::size_t bucket = static_cast<std::size_t>(t / config_.bucket_seconds);
+  if (bucket >= num_buckets_) num_buckets_ = bucket + 1;
+  for (int i = 0; i < path.count; ++i) {
+    const SwitchId sw = path.hops[i];
+    totals_[c][sw] += size;
+    auto& series = series_[c][static_cast<std::size_t>(topo_->tier_of_switch(sw))];
+    if (series.size() <= bucket) series.resize(bucket + 1, 0);
+    series[bucket] += size;
+  }
+}
+
+std::uint64_t TrafficRecorder::SwitchTotal(SwitchId sw, MsgClass cls) const {
+  return totals_[static_cast<std::size_t>(cls)][sw];
+}
+
+std::uint64_t TrafficRecorder::TierTotal(Tier tier, MsgClass cls) const {
+  std::uint64_t sum = 0;
+  const auto& totals = totals_[static_cast<std::size_t>(cls)];
+  for (SwitchId sw = 0; sw < topo_->num_switches(); ++sw) {
+    if (topo_->tier_of_switch(sw) == tier) sum += totals[sw];
+  }
+  return sum;
+}
+
+double TrafficRecorder::TierAverage(Tier tier, MsgClass cls) const {
+  const std::uint32_t count = SwitchesInTier(tier);
+  return count == 0 ? 0.0
+                    : static_cast<double>(TierTotal(tier, cls)) / count;
+}
+
+std::uint32_t TrafficRecorder::SwitchesInTier(Tier tier) const {
+  if (topo_->is_flat()) return tier == Tier::kTop ? 1 : 0;
+  switch (tier) {
+    case Tier::kTop:
+      return 1;
+    case Tier::kIntermediate:
+      return topo_->num_intermediates();
+    case Tier::kRack:
+      return topo_->num_racks();
+  }
+  return 0;
+}
+
+const std::vector<std::uint64_t>& TrafficRecorder::Series(Tier tier,
+                                                          MsgClass cls) const {
+  return series_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(tier)];
+}
+
+std::uint64_t TrafficRecorder::SeriesRange(Tier tier, MsgClass cls,
+                                           std::size_t from,
+                                           std::size_t to) const {
+  const auto& series = Series(tier, cls);
+  std::uint64_t sum = 0;
+  for (std::size_t i = from; i < to && i < series.size(); ++i) sum += series[i];
+  return sum;
+}
+
+void TrafficRecorder::Reset() {
+  for (auto& t : totals_) t.assign(topo_->num_switches(), 0);
+  for (auto& per_class : series_) {
+    for (auto& series : per_class) series.clear();
+  }
+  num_buckets_ = 0;
+}
+
+}  // namespace dynasore::net

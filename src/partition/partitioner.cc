@@ -1,0 +1,534 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dynasore::part {
+
+using common::Rng;
+
+namespace {
+
+// Weighted undirected CSR used throughout the multilevel pipeline.
+struct WGraph {
+  std::vector<std::uint64_t> offsets{0};
+  std::vector<std::uint32_t> adj;
+  std::vector<std::uint32_t> ew;  // edge weights, parallel to adj
+  std::vector<std::uint32_t> vw;  // vertex weights
+  std::uint64_t total_vw = 0;
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(vw.size()); }
+  std::span<const std::uint32_t> neighbors(std::uint32_t u) const {
+    return {adj.data() + offsets[u],
+            static_cast<std::size_t>(offsets[u + 1] - offsets[u])};
+  }
+};
+
+WGraph FromSocialGraph(const graph::SocialGraph& social) {
+  const graph::SocialGraph undirected =
+      social.directed() ? social.AsUndirected() : social;
+  WGraph g;
+  const std::uint32_t n = undirected.num_users();
+  g.vw.assign(n, 1);
+  g.total_vw = n;
+  g.offsets.assign(n + 1, 0);
+  std::uint64_t total = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    total += undirected.Followees(u).size();
+    g.offsets[u + 1] = total;
+  }
+  g.adj.reserve(total);
+  g.ew.assign(total, 1);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const auto nbrs = undirected.Followees(u);
+    g.adj.insert(g.adj.end(), nbrs.begin(), nbrs.end());
+  }
+  return g;
+}
+
+// ----- Coarsening -----
+
+struct Coarsening {
+  WGraph graph;
+  std::vector<std::uint32_t> fine_to_coarse;
+};
+
+Coarsening Coarsen(const WGraph& g, Rng& rng) {
+  const std::uint32_t n = g.n();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  constexpr std::uint32_t kUnmatched = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> match(n, kUnmatched);
+  for (std::uint32_t u : order) {
+    if (match[u] != kUnmatched) continue;
+    std::uint32_t best = kUnmatched;
+    std::uint32_t best_w = 0;
+    for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      const std::uint32_t v = g.adj[i];
+      if (v == u || match[v] != kUnmatched) continue;
+      if (g.ew[i] > best_w) {
+        best_w = g.ew[i];
+        best = v;
+      }
+    }
+    if (best == kUnmatched) {
+      match[u] = u;
+    } else {
+      match[u] = best;
+      match[best] = u;
+    }
+  }
+
+  Coarsening result;
+  result.fine_to_coarse.assign(n, kUnmatched);
+  std::uint32_t coarse_n = 0;
+  for (std::uint32_t u : order) {
+    if (result.fine_to_coarse[u] != kUnmatched) continue;
+    result.fine_to_coarse[u] = coarse_n;
+    result.fine_to_coarse[match[u]] = coarse_n;  // match[u] == u if solo
+    ++coarse_n;
+  }
+
+  // Aggregate vertex weights and edges.
+  WGraph& cg = result.graph;
+  cg.vw.assign(coarse_n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    cg.vw[result.fine_to_coarse[u]] += g.vw[u];
+  }
+  cg.total_vw = g.total_vw;
+
+  // Members of each coarse vertex.
+  std::vector<std::uint32_t> member_offsets(coarse_n + 1, 0);
+  for (std::uint32_t u = 0; u < n; ++u) ++member_offsets[result.fine_to_coarse[u] + 1];
+  for (std::uint32_t c = 0; c < coarse_n; ++c) member_offsets[c + 1] += member_offsets[c];
+  std::vector<std::uint32_t> members(n);
+  {
+    std::vector<std::uint32_t> cursor(member_offsets.begin(),
+                                      member_offsets.end() - 1);
+    for (std::uint32_t u = 0; u < n; ++u) members[cursor[result.fine_to_coarse[u]]++] = u;
+  }
+
+  // Timestamped dense accumulator avoids a hash map in the hot loop.
+  std::vector<std::uint32_t> stamp(coarse_n, 0xFFFFFFFFu);
+  std::vector<std::uint64_t> weight_at(coarse_n, 0);
+  std::vector<std::uint32_t> touched;
+  cg.offsets.assign(coarse_n + 1, 0);
+  // First pass counts, second fills; to avoid two passes we buffer edges.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> coarse_edges;  // (to, w)
+  std::vector<std::uint64_t> per_vertex_counts(coarse_n, 0);
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> buffered(
+      coarse_n);
+  for (std::uint32_t c = 0; c < coarse_n; ++c) {
+    touched.clear();
+    for (std::uint32_t mi = member_offsets[c]; mi < member_offsets[c + 1];
+         ++mi) {
+      const std::uint32_t u = members[mi];
+      for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+        const std::uint32_t vc = result.fine_to_coarse[g.adj[i]];
+        if (vc == c) continue;  // internal edge collapses
+        if (stamp[vc] != c) {
+          stamp[vc] = c;
+          weight_at[vc] = 0;
+          touched.push_back(vc);
+        }
+        weight_at[vc] += g.ew[i];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    auto& bucket = buffered[c];
+    bucket.reserve(touched.size());
+    for (std::uint32_t vc : touched) {
+      bucket.emplace_back(vc, static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                                  weight_at[vc], 0xFFFFFFFFu)));
+    }
+    per_vertex_counts[c] = bucket.size();
+  }
+  std::uint64_t total_edges = 0;
+  for (std::uint32_t c = 0; c < coarse_n; ++c) {
+    total_edges += per_vertex_counts[c];
+    cg.offsets[c + 1] = total_edges;
+  }
+  cg.adj.resize(total_edges);
+  cg.ew.resize(total_edges);
+  for (std::uint32_t c = 0; c < coarse_n; ++c) {
+    std::uint64_t pos = cg.offsets[c];
+    for (const auto& [vc, w] : buffered[c]) {
+      cg.adj[pos] = vc;
+      cg.ew[pos] = w;
+      ++pos;
+    }
+  }
+  return result;
+}
+
+// ----- Bisection -----
+
+struct Bisection {
+  std::vector<std::uint8_t> side;  // 0 or 1 per vertex
+  std::uint64_t cut = 0;
+};
+
+std::uint64_t CutOf(const WGraph& g, std::span<const std::uint8_t> side) {
+  std::uint64_t cut = 0;
+  for (std::uint32_t u = 0; u < g.n(); ++u) {
+    for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      const std::uint32_t v = g.adj[i];
+      if (u < v && side[u] != side[v]) cut += g.ew[i];
+    }
+  }
+  return cut;
+}
+
+// Greedy BFS growing: grow side 0 from a random seed until it reaches the
+// target weight.
+Bisection GrowBisection(const WGraph& g, double target_frac, Rng& rng) {
+  const std::uint32_t n = g.n();
+  Bisection bisection;
+  bisection.side.assign(n, 1);
+  const auto target =
+      static_cast<std::uint64_t>(target_frac * static_cast<double>(g.total_vw));
+  std::uint64_t grown = 0;
+  std::vector<std::uint32_t> queue;
+  std::vector<std::uint8_t> seen(n, 0);
+  std::size_t head = 0;
+  while (grown < target) {
+    if (head == queue.size()) {
+      // Pick a fresh random unvisited seed (graph may be disconnected).
+      std::uint32_t seed = 0;
+      bool found = false;
+      for (std::uint32_t attempt = 0; attempt < 32 && !found; ++attempt) {
+        seed = static_cast<std::uint32_t>(rng.NextBounded(n));
+        found = !seen[seed];
+      }
+      if (!found) {
+        for (std::uint32_t u = 0; u < n && !found; ++u) {
+          if (!seen[u]) {
+            seed = u;
+            found = true;
+          }
+        }
+      }
+      if (!found) break;
+      seen[seed] = 1;
+      queue.push_back(seed);
+    }
+    const std::uint32_t u = queue[head++];
+    bisection.side[u] = 0;
+    grown += g.vw[u];
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  bisection.cut = CutOf(g, bisection.side);
+  return bisection;
+}
+
+// One Fiduccia-Mattheyses pass with rollback to the best prefix. Returns the
+// achieved cut.
+std::uint64_t FMPass(const WGraph& g, std::vector<std::uint8_t>& side,
+                     std::uint64_t cut, double target_frac, double imbalance) {
+  const std::uint32_t n = g.n();
+  std::array<std::uint64_t, 2> weight{0, 0};
+  for (std::uint32_t u = 0; u < n; ++u) weight[side[u]] += g.vw[u];
+  const double total = static_cast<double>(g.total_vw);
+  const std::array<std::uint64_t, 2> max_weight{
+      static_cast<std::uint64_t>(total * target_frac * imbalance),
+      static_cast<std::uint64_t>(total * (1.0 - target_frac) * imbalance)};
+
+  // gain = external weight - internal weight.
+  std::vector<std::int64_t> gain(n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    std::int64_t gain_u = 0;
+    for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      gain_u += side[g.adj[i]] != side[u] ? g.ew[i] : -std::int64_t{g.ew[i]};
+    }
+    gain[u] = gain_u;
+  }
+
+  // One max-heap per move direction. A direction whose destination side is
+  // at its weight cap stays queued instead of being discarded, so
+  // balance-restoring moves from the other side can unblock it (classic FM
+  // behaviour; a single shared heap loses blocked candidates forever).
+  using HeapEntry = std::pair<std::int64_t, std::uint32_t>;  // (gain, vertex)
+  std::array<std::priority_queue<HeapEntry>, 2> heaps;
+  std::vector<std::uint8_t> locked(n, 0);
+  for (std::uint32_t u = 0; u < n; ++u) heaps[side[u]].emplace(gain[u], u);
+
+  // Drops stale entries (locked, moved sides, or outdated gain) and returns
+  // whether the heap still has a valid top.
+  auto clean_top = [&](std::uint8_t from) {
+    auto& heap = heaps[from];
+    while (!heap.empty()) {
+      const auto [g_top, u] = heap.top();
+      if (locked[u] || side[u] != from || g_top != gain[u]) {
+        heap.pop();
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<std::uint32_t> moves;
+  moves.reserve(n);
+  std::uint64_t best_cut = cut;
+  std::size_t best_prefix = 0;
+  std::uint64_t current_cut = cut;
+
+  while (true) {
+    std::int64_t best_gain = 0;
+    int chosen = -1;
+    for (std::uint8_t from = 0; from < 2; ++from) {
+      if (!clean_top(from)) continue;
+      const auto [g_top, u] = heaps[from].top();
+      const std::uint8_t to = from ^ 1u;
+      if (weight[to] + g.vw[u] > max_weight[to]) continue;  // infeasible now
+      if (chosen == -1 || g_top > best_gain) {
+        best_gain = g_top;
+        chosen = from;
+      }
+    }
+    if (chosen == -1) break;
+    const std::uint32_t u = heaps[chosen].top().second;
+    heaps[chosen].pop();
+    const auto from = static_cast<std::uint8_t>(chosen);
+    const std::uint8_t to = from ^ 1u;
+    locked[u] = 1;
+    side[u] = to;
+    weight[from] -= g.vw[u];
+    weight[to] += g.vw[u];
+    current_cut = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(current_cut) - gain[u]);
+    moves.push_back(u);
+    if (current_cut < best_cut) {
+      best_cut = current_cut;
+      best_prefix = moves.size();
+    }
+    for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      const std::uint32_t v = g.adj[i];
+      if (locked[v]) continue;
+      // u switched sides: edges to v flip between internal and external.
+      gain[v] += side[v] == side[u] ? -2 * std::int64_t{g.ew[i]}
+                                    : 2 * std::int64_t{g.ew[i]};
+      heaps[side[v]].emplace(gain[v], v);
+    }
+  }
+
+  // Roll back everything after the best prefix.
+  for (std::size_t i = moves.size(); i > best_prefix; --i) {
+    side[moves[i - 1]] ^= 1u;
+  }
+  return best_cut;
+}
+
+Bisection MultilevelBisect(const WGraph& g, double target_frac,
+                           double imbalance, const PartitionConfig& config,
+                           Rng& rng);
+
+Bisection BisectBase(const WGraph& g, double target_frac, double imbalance,
+                     const PartitionConfig& config, Rng& rng) {
+  Bisection best;
+  best.cut = ~std::uint64_t{0};
+  for (int attempt = 0; attempt < config.init_tries; ++attempt) {
+    Bisection candidate = GrowBisection(g, target_frac, rng);
+    candidate.cut = FMPass(g, candidate.side, candidate.cut, target_frac,
+                           imbalance);
+    if (candidate.cut < best.cut) best = std::move(candidate);
+  }
+  return best;
+}
+
+Bisection MultilevelBisect(const WGraph& g, double target_frac,
+                           double imbalance, const PartitionConfig& config,
+                           Rng& rng) {
+  if (g.n() <= config.coarsen_target) {
+    return BisectBase(g, target_frac, imbalance, config, rng);
+  }
+  Coarsening coarsening = Coarsen(g, rng);
+  // If matching stalls (coarse graph barely smaller), stop coarsening.
+  if (coarsening.graph.n() > g.n() * 95 / 100) {
+    return BisectBase(g, target_frac, imbalance, config, rng);
+  }
+  Bisection coarse =
+      MultilevelBisect(coarsening.graph, target_frac, imbalance, config, rng);
+  Bisection fine;
+  fine.side.resize(g.n());
+  for (std::uint32_t u = 0; u < g.n(); ++u) {
+    fine.side[u] = coarse.side[coarsening.fine_to_coarse[u]];
+  }
+  fine.cut = CutOf(g, fine.side);
+  for (int pass = 0; pass < config.refine_passes; ++pass) {
+    const std::uint64_t refined =
+        FMPass(g, fine.side, fine.cut, target_frac, imbalance);
+    if (refined >= fine.cut) break;
+    fine.cut = refined;
+  }
+  return fine;
+}
+
+// Extracts the sub-graph induced by vertices where side[v] == which, keeping
+// only internal edges. `local_to_global` maps new ids back.
+WGraph InducedSubgraph(const WGraph& g, std::span<const std::uint8_t> side,
+                       std::uint8_t which,
+                       std::span<const std::uint32_t> global_ids,
+                       std::vector<std::uint32_t>& local_to_global) {
+  const std::uint32_t n = g.n();
+  std::vector<std::uint32_t> global_to_local(n, 0xFFFFFFFFu);
+  local_to_global.clear();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (side[u] == which) {
+      global_to_local[u] = static_cast<std::uint32_t>(local_to_global.size());
+      local_to_global.push_back(global_ids[u]);
+    }
+  }
+  WGraph sub;
+  const auto sub_n = static_cast<std::uint32_t>(local_to_global.size());
+  sub.vw.reserve(sub_n);
+  sub.offsets.assign(1, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (side[u] != which) continue;
+    sub.vw.push_back(g.vw[u]);
+    sub.total_vw += g.vw[u];
+    for (std::uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      const std::uint32_t v = g.adj[i];
+      if (side[v] != which) continue;
+      sub.adj.push_back(global_to_local[v]);
+      sub.ew.push_back(g.ew[i]);
+    }
+    sub.offsets.push_back(sub.adj.size());
+  }
+  return sub;
+}
+
+// Recursive bisection assigning parts [part_offset, part_offset + k) to the
+// vertices of `g` (whose original ids are `global_ids`).
+void RecursiveKWay(const WGraph& g, std::span<const std::uint32_t> global_ids,
+                   std::uint32_t k, std::uint32_t part_offset,
+                   double level_imbalance, const PartitionConfig& config,
+                   Rng& rng, std::vector<std::uint32_t>& out) {
+  if (k <= 1 || g.n() == 0) {
+    for (std::uint32_t id : global_ids) out[id] = part_offset;
+    return;
+  }
+  const std::uint32_t k0 = k / 2;
+  const std::uint32_t k1 = k - k0;
+  const double frac = static_cast<double>(k0) / static_cast<double>(k);
+  const Bisection bisection =
+      MultilevelBisect(g, frac, level_imbalance, config, rng);
+
+  std::vector<std::uint32_t> ids0;
+  std::vector<std::uint32_t> ids1;
+  const WGraph g0 = InducedSubgraph(g, bisection.side, 0, global_ids, ids0);
+  const WGraph g1 = InducedSubgraph(g, bisection.side, 1, global_ids, ids1);
+  RecursiveKWay(g0, ids0, k0, part_offset, level_imbalance, config, rng, out);
+  RecursiveKWay(g1, ids1, k1, part_offset + k0, level_imbalance, config, rng,
+                out);
+}
+
+double PerLevelImbalance(double imbalance, std::uint32_t k) {
+  const int levels = std::max(1, static_cast<int>(std::ceil(std::log2(k))));
+  return std::pow(imbalance, 1.0 / levels);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> PartitionGraph(const graph::SocialGraph& social,
+                                          const PartitionConfig& config) {
+  assert(config.num_parts >= 1);
+  const WGraph g = FromSocialGraph(social);
+  std::vector<std::uint32_t> parts(g.n(), 0);
+  if (config.num_parts == 1) return parts;
+  std::vector<std::uint32_t> ids(g.n());
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(config.seed);
+  RecursiveKWay(g, ids, config.num_parts, 0,
+                PerLevelImbalance(config.imbalance, config.num_parts), config,
+                rng, parts);
+  return parts;
+}
+
+std::uint64_t ComputeEdgeCut(const graph::SocialGraph& social,
+                             std::span<const std::uint32_t> parts) {
+  const graph::SocialGraph undirected =
+      social.directed() ? social.AsUndirected() : social;
+  std::uint64_t cut = 0;
+  for (UserId u = 0; u < undirected.num_users(); ++u) {
+    for (UserId v : undirected.Followees(u)) {
+      if (u < v && parts[u] != parts[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+std::vector<std::uint32_t> HierarchicalPartition(
+    const graph::SocialGraph& social, std::span<const std::uint32_t> fanouts,
+    double imbalance, std::uint64_t seed) {
+  assert(!fanouts.empty());
+  const WGraph root = FromSocialGraph(social);
+  std::vector<std::uint32_t> ids(root.n());
+  std::iota(ids.begin(), ids.end(), 0);
+
+  // Spread the allowed imbalance across the levels.
+  const double per_level = std::pow(imbalance, 1.0 / fanouts.size());
+
+  struct Item {
+    WGraph graph;
+    std::vector<std::uint32_t> ids;
+    std::size_t level;
+    std::uint32_t prefix;  // leaf-id prefix of ancestors
+  };
+  std::vector<std::uint32_t> leaf(root.n(), 0);
+  std::vector<Item> stack;
+  stack.push_back(Item{root, std::move(ids), 0, 0});
+  Rng rng(seed);
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    const std::uint32_t fanout = fanouts[item.level];
+    PartitionConfig config;
+    config.num_parts = fanout;
+    config.imbalance = per_level;
+    config.seed = rng.NextU64();
+    std::vector<std::uint32_t> local_parts(item.graph.n(), 0);
+    if (fanout > 1) {
+      std::vector<std::uint32_t> local_ids(item.graph.n());
+      std::iota(local_ids.begin(), local_ids.end(), 0);
+      Rng part_rng(config.seed);
+      RecursiveKWay(item.graph, local_ids, fanout, 0,
+                    PerLevelImbalance(per_level, fanout), config, part_rng,
+                    local_parts);
+    }
+    if (item.level + 1 == fanouts.size()) {
+      for (std::uint32_t u = 0; u < item.graph.n(); ++u) {
+        leaf[item.ids[u]] = item.prefix * fanout + local_parts[u];
+      }
+      continue;
+    }
+    // Split into induced subgraphs per part and recurse one level down.
+    for (std::uint32_t p = 0; p < fanout; ++p) {
+      std::vector<std::uint8_t> side(item.graph.n(), 0);
+      for (std::uint32_t u = 0; u < item.graph.n(); ++u) {
+        side[u] = local_parts[u] == p ? 1 : 0;
+      }
+      std::vector<std::uint32_t> sub_ids;
+      WGraph sub = InducedSubgraph(item.graph, side, 1, item.ids, sub_ids);
+      stack.push_back(Item{std::move(sub), std::move(sub_ids), item.level + 1,
+                           item.prefix * fanout + p});
+    }
+  }
+  return leaf;
+}
+
+}  // namespace dynasore::part

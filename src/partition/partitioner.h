@@ -1,0 +1,47 @@
+// From-scratch multilevel k-way graph partitioner, standing in for METIS
+// (paper §4.1). Pipeline: heavy-edge-matching coarsening, greedy-growing
+// initial bisection, Fiduccia-Mattheyses refinement with rollback, recursive
+// bisection for k parts.
+//
+// `HierarchicalPartition` reproduces the paper's "hierarchical METIS":
+// partition once per tree level (intermediates, then racks inside each
+// intermediate, then servers inside each rack) so that cut edges land on the
+// cheapest possible switch tier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace dynasore::part {
+
+struct PartitionConfig {
+  std::uint32_t num_parts = 2;
+  // Maximum part weight relative to perfect balance (1.05 = +5%).
+  double imbalance = 1.05;
+  std::uint64_t seed = 1;
+  std::uint32_t coarsen_target = 256;
+  int refine_passes = 6;
+  int init_tries = 4;
+};
+
+// Returns a part id in [0, num_parts) per user. Directed graphs are
+// symmetrized internally.
+std::vector<std::uint32_t> PartitionGraph(const graph::SocialGraph& g,
+                                          const PartitionConfig& config);
+
+// Number of links crossing parts (undirected view of the graph).
+std::uint64_t ComputeEdgeCut(const graph::SocialGraph& g,
+                             std::span<const std::uint32_t> parts);
+
+// Recursive per-level partitioning. `fanouts` lists the branching factor of
+// each tree level (e.g. {5, 5, 9} for 5 intermediates x 5 racks x 9
+// servers). The returned leaf id enumerates leaves depth-first:
+// ((l0 * f1) + l1) * f2 + l2 ...
+std::vector<std::uint32_t> HierarchicalPartition(
+    const graph::SocialGraph& g, std::span<const std::uint32_t> fanouts,
+    double imbalance, std::uint64_t seed);
+
+}  // namespace dynasore::part

@@ -1,0 +1,102 @@
+#include "persist/persistent_store.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dynasore::persist {
+
+namespace {
+std::FILE* AsFile(void* handle) { return static_cast<std::FILE*>(handle); }
+}  // namespace
+
+PersistentStore::PersistentStore(std::optional<std::string> wal_path,
+                                 std::size_t max_events_per_view)
+    : wal_path_(std::move(wal_path)),
+      max_events_per_view_(max_events_per_view) {
+  if (wal_path_) {
+    wal_file_ = std::fopen(wal_path_->c_str(), "a");
+    assert(wal_file_ != nullptr && "cannot open WAL for append");
+  }
+}
+
+PersistentStore::~PersistentStore() {
+  if (wal_file_ != nullptr) std::fclose(AsFile(wal_file_));
+}
+
+PersistentStore::PersistentStore(PersistentStore&& other) noexcept
+    : views_(std::move(other.views_)),
+      wal_path_(std::move(other.wal_path_)),
+      max_events_per_view_(other.max_events_per_view_),
+      num_events_(other.num_events_),
+      wal_file_(other.wal_file_) {
+  other.wal_file_ = nullptr;
+}
+
+PersistentStore& PersistentStore::operator=(PersistentStore&& other) noexcept {
+  if (this == &other) return *this;
+  if (wal_file_ != nullptr) std::fclose(AsFile(wal_file_));
+  views_ = std::move(other.views_);
+  wal_path_ = std::move(other.wal_path_);
+  max_events_per_view_ = other.max_events_per_view_;
+  num_events_ = other.num_events_;
+  wal_file_ = other.wal_file_;
+  other.wal_file_ = nullptr;
+  return *this;
+}
+
+void PersistentStore::Append(store::Event event) {
+  assert(event.payload.find('\n') == std::string::npos);
+  if (wal_file_ != nullptr) {
+    // Log before applying: the in-memory state is always recoverable.
+    std::fprintf(AsFile(wal_file_), "%u %llu %s\n", event.author,
+                 static_cast<unsigned long long>(event.time),
+                 event.payload.c_str());
+    std::fflush(AsFile(wal_file_));
+  }
+  auto [it, inserted] =
+      views_.try_emplace(event.author, store::ViewData(max_events_per_view_));
+  ++num_events_;
+  it->second.Append(std::move(event));
+}
+
+std::span<const store::Event> PersistentStore::FetchView(UserId user) const {
+  auto it = views_.find(user);
+  if (it == views_.end()) return {};
+  return it->second.events();
+}
+
+PersistentStore PersistentStore::Recover(const std::string& wal_path,
+                                         std::size_t max_events_per_view) {
+  PersistentStore store(std::nullopt, max_events_per_view);
+  store.ReplayWal(wal_path);
+  // Re-attach the WAL for future appends.
+  store.wal_path_ = wal_path;
+  store.wal_file_ = std::fopen(wal_path.c_str(), "a");
+  assert(store.wal_file_ != nullptr);
+  return store;
+}
+
+void PersistentStore::ReplayWal(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    store::Event event;
+    unsigned long long time = 0;
+    fields >> event.author >> time;
+    event.time = time;
+    std::getline(fields, event.payload);
+    if (!event.payload.empty() && event.payload.front() == ' ') {
+      event.payload.erase(event.payload.begin());
+    }
+    auto [it, inserted] = views_.try_emplace(
+        event.author, store::ViewData(max_events_per_view_));
+    ++num_events_;
+    it->second.Append(std::move(event));
+  }
+}
+
+}  // namespace dynasore::persist

@@ -1,0 +1,59 @@
+// Durable backing store (paper §2.2 / §3.3). DynaSoRe follows Facebook's
+// memcache architecture: a write is persisted first, then the in-memory
+// store's write proxy is notified and *fetches the new version of the view
+// from the persistent store*. Crashed cache servers rebuild sole replicas
+// from here.
+//
+// The implementation is an in-memory map with an optional append-only
+// write-ahead log on disk (one line per event) that `Recover` replays — the
+// moral equivalent of the BookKeeper-style logging the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "store/view_data.h"
+
+namespace dynasore::persist {
+
+class PersistentStore {
+ public:
+  // With a path, every append is logged to disk before being applied.
+  explicit PersistentStore(std::optional<std::string> wal_path = std::nullopt,
+                           std::size_t max_events_per_view = 64);
+  ~PersistentStore();
+
+  PersistentStore(PersistentStore&&) noexcept;
+  PersistentStore& operator=(PersistentStore&&) noexcept;
+  PersistentStore(const PersistentStore&) = delete;
+  PersistentStore& operator=(const PersistentStore&) = delete;
+
+  // Durably appends an event to the author's view. Payloads must not
+  // contain newlines (they are WAL line records).
+  void Append(store::Event event);
+
+  // Latest version of a user's view (empty if the user never wrote).
+  std::span<const store::Event> FetchView(UserId user) const;
+
+  std::uint64_t num_events() const { return num_events_; }
+
+  // Rebuilds a store from an existing WAL (crash recovery). Subsequent
+  // appends continue the same log.
+  static PersistentStore Recover(const std::string& wal_path,
+                                 std::size_t max_events_per_view = 64);
+
+ private:
+  void ReplayWal(const std::string& path);
+
+  std::unordered_map<UserId, store::ViewData> views_;
+  std::optional<std::string> wal_path_;
+  std::size_t max_events_per_view_;
+  std::uint64_t num_events_ = 0;
+  void* wal_file_ = nullptr;  // std::FILE*, kept opaque in the header
+};
+
+}  // namespace dynasore::persist

@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/rng.h"
+#include "partition/partitioner.h"
+#include "placement/placement.h"
+
+namespace dynasore::place {
+
+namespace {
+
+// Moves views from over-capacity servers to the closest server with room
+// (same rack, then same intermediate, then anywhere). Partition imbalance is
+// a few percent, so spilling affects a small tail of views.
+void SpillOverflow(PlacementResult& result, const net::Topology& topo,
+                   std::uint32_t capacity) {
+  std::vector<std::uint32_t> load = result.ServerLoads(topo.num_servers());
+  auto find_target = [&](ServerId from) -> ServerId {
+    ServerId best = kInvalidServer;
+    int best_distance = 1 << 20;
+    for (ServerId s = 0; s < topo.num_servers(); ++s) {
+      if (s == from || load[s] >= capacity) continue;
+      const int d = topo.ServerDistance(from, s);
+      // Prefer closer targets; ties break toward the emptier server so the
+      // spill does not concentrate.
+      if (d < best_distance ||
+          (d == best_distance && best != kInvalidServer &&
+           load[s] < load[best])) {
+        best_distance = d;
+        best = s;
+      }
+    }
+    return best;
+  };
+  for (ViewId v = 0; v < result.replicas.size(); ++v) {
+    const ServerId s = result.master[v];
+    if (load[s] <= capacity) continue;
+    const ServerId target = find_target(s);
+    assert(target != kInvalidServer && "total capacity must fit all views");
+    --load[s];
+    ++load[target];
+    result.replicas[v] = {target};
+    result.master[v] = target;
+  }
+}
+
+}  // namespace
+
+PlacementResult PartitionPlacement(const graph::SocialGraph& g,
+                                   const net::Topology& topo,
+                                   std::uint32_t capacity_per_server,
+                                   std::uint64_t seed, bool hierarchical) {
+  const std::uint32_t num_views = g.num_users();
+  assert(static_cast<std::uint64_t>(capacity_per_server) * topo.num_servers() >=
+         num_views);
+
+  std::vector<std::uint32_t> part_of_user;
+  std::vector<ServerId> part_to_server(topo.num_servers());
+  if (hierarchical && !topo.is_flat()) {
+    const std::array<std::uint32_t, 3> fanouts{
+        topo.num_intermediates(), topo.racks_per_intermediate(),
+        topo.servers_per_rack()};
+    part_of_user =
+        part::HierarchicalPartition(g, fanouts, /*imbalance=*/1.06, seed);
+    // Leaves enumerate servers depth-first, exactly the server id layout.
+    std::iota(part_to_server.begin(), part_to_server.end(), 0);
+  } else {
+    part::PartitionConfig config;
+    config.num_parts = topo.num_servers();
+    config.imbalance = 1.06;
+    config.seed = seed;
+    part_of_user = part::PartitionGraph(g, config);
+    // Plain METIS ignores the data-center hierarchy: parts land on servers
+    // in random order (paper §4.1).
+    std::iota(part_to_server.begin(), part_to_server.end(), 0);
+    common::Rng rng(seed ^ 0x5DEECE66DULL);
+    rng.Shuffle(part_to_server);
+  }
+
+  PlacementResult result;
+  result.replicas.resize(num_views);
+  result.master.resize(num_views);
+  for (UserId u = 0; u < num_views; ++u) {
+    const ServerId s = part_to_server[part_of_user[u]];
+    result.replicas[u] = {s};
+    result.master[u] = s;
+  }
+  SpillOverflow(result, topo, capacity_per_server);
+  return result;
+}
+
+}  // namespace dynasore::place

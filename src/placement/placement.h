@@ -1,0 +1,59 @@
+// Initial view-to-server assignments (paper §4.1 baselines and §4.4 initial
+// placements for DynaSoRe): Random, METIS-style partitioning, hierarchical
+// partitioning, and SPAR.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/social_graph.h"
+#include "net/topology.h"
+
+namespace dynasore::place {
+
+struct PlacementResult {
+  // Per view: sorted list of servers holding a replica (at least one each).
+  std::vector<std::vector<ServerId>> replicas;
+  // Per view: the "home" replica; the user's proxies start on the broker of
+  // this server's rack.
+  std::vector<ServerId> master;
+
+  std::uint64_t TotalReplicas() const;
+  // Number of views stored on each server.
+  std::vector<std::uint32_t> ServerLoads(std::uint16_t num_servers) const;
+};
+
+// Hash-style random assignment (memcached/Redis baseline): each view lands
+// on a uniformly random non-full server; no replication.
+PlacementResult RandomPlacement(std::uint32_t num_views,
+                                const net::Topology& topo,
+                                std::uint32_t capacity_per_server,
+                                std::uint64_t seed);
+
+// Graph partitioning into one part per server. `hierarchical` re-partitions
+// per tree level (intermediates -> racks -> servers), the paper's hMETIS;
+// otherwise parts are mapped to servers uniformly at random (plain METIS).
+// Views exceeding a server's capacity spill to the nearest non-full server.
+PlacementResult PartitionPlacement(const graph::SocialGraph& g,
+                                   const net::Topology& topo,
+                                   std::uint32_t capacity_per_server,
+                                   std::uint64_t seed, bool hierarchical);
+
+struct SparConfig {
+  std::uint64_t seed = 1;
+  // Masters per server may exceed perfect balance by this factor.
+  double master_balance_slack = 1.10;
+};
+
+// Memory-bounded SPAR (paper §4.1): masters are load-balanced; for every
+// social link the endpoints' views are co-located on each other's master
+// server via replicas, created only while the target server has space. Edge
+// insertions evaluate SPAR's three configurations (replicate, move u, move
+// v) and keep the one minimizing total replicas.
+PlacementResult SparPlacement(const graph::SocialGraph& g,
+                              const net::Topology& topo,
+                              std::uint32_t capacity_per_server,
+                              const SparConfig& config);
+
+}  // namespace dynasore::place

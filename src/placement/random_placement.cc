@@ -1,0 +1,47 @@
+#include <cassert>
+#include <numeric>
+
+#include "common/rng.h"
+#include "placement/placement.h"
+
+namespace dynasore::place {
+
+std::uint64_t PlacementResult::TotalReplicas() const {
+  std::uint64_t total = 0;
+  for (const auto& r : replicas) total += r.size();
+  return total;
+}
+
+std::vector<std::uint32_t> PlacementResult::ServerLoads(
+    std::uint16_t num_servers) const {
+  std::vector<std::uint32_t> loads(num_servers, 0);
+  for (const auto& r : replicas) {
+    for (ServerId s : r) ++loads[s];
+  }
+  return loads;
+}
+
+PlacementResult RandomPlacement(std::uint32_t num_views,
+                                const net::Topology& topo,
+                                std::uint32_t capacity_per_server,
+                                std::uint64_t seed) {
+  assert(static_cast<std::uint64_t>(capacity_per_server) * topo.num_servers() >=
+         num_views);
+  common::Rng rng(seed);
+  PlacementResult result;
+  result.replicas.resize(num_views);
+  result.master.resize(num_views);
+  std::vector<std::uint32_t> load(topo.num_servers(), 0);
+  for (ViewId v = 0; v < num_views; ++v) {
+    ServerId s = 0;
+    do {
+      s = static_cast<ServerId>(rng.NextBounded(topo.num_servers()));
+    } while (load[s] >= capacity_per_server);
+    ++load[s];
+    result.replicas[v] = {s};
+    result.master[v] = s;
+  }
+  return result;
+}
+
+}  // namespace dynasore::place

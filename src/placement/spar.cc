@@ -1,0 +1,251 @@
+// Memory-bounded SPAR (Pujol et al., SIGCOMM'10), adapted per the paper's
+// §4.1: views of a user's social connections are replicated onto her
+// master's server "as long as storage is available".
+//
+// The implementation follows SPAR's online edge heuristic: for every new
+// link it evaluates three configurations — (a) keep both masters and create
+// the missing co-location replicas, (b) move u's master next to v, (c) move
+// v's master next to u — and keeps the one that minimizes the total number
+// of replicas, subject to master load balance and server capacity. Replicas
+// whose last requirement disappears are garbage-collected.
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "placement/placement.h"
+
+namespace dynasore::place {
+
+namespace {
+
+using common::Rng;
+
+// Sorted (server, count) requirement table of one view: how many processed
+// social links (plus the master copy itself) require the view on a server.
+class ReqTable {
+ public:
+  void Inc(ServerId s) {
+    auto it = Find(s);
+    if (it != entries_.end() && it->first == s) {
+      ++it->second;
+    } else {
+      entries_.insert(it, {s, 1});
+    }
+  }
+
+  // Returns the count after decrementing.
+  std::uint32_t Dec(ServerId s) {
+    auto it = Find(s);
+    assert(it != entries_.end() && it->first == s && it->second > 0);
+    if (--it->second == 0) {
+      entries_.erase(it);
+      return 0;
+    }
+    return it->second;
+  }
+
+  std::uint32_t Get(ServerId s) const {
+    auto it = const_cast<ReqTable*>(this)->Find(s);
+    return it != entries_.end() && it->first == s ? it->second : 0;
+  }
+
+ private:
+  std::vector<std::pair<ServerId, std::uint32_t>>::iterator Find(ServerId s) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), s,
+        [](const auto& entry, ServerId key) { return entry.first < key; });
+  }
+
+  std::vector<std::pair<ServerId, std::uint32_t>> entries_;
+};
+
+class SparBuilder {
+ public:
+  SparBuilder(const graph::SocialGraph& g, const net::Topology& topo,
+              std::uint32_t capacity, const SparConfig& config)
+      : g_(g),
+        capacity_(capacity),
+        num_servers_(topo.num_servers()),
+        rng_(config.seed) {
+    const std::uint32_t n = g.num_users();
+    master_.assign(n, kInvalidServer);
+    replicas_.resize(n);
+    req_.resize(n);
+    processed_out_.resize(n);
+    load_.assign(num_servers_, 0);
+    masters_on_.assign(num_servers_, 0);
+    max_masters_ = static_cast<std::uint32_t>(
+        std::max(1.0, (static_cast<double>(n) / num_servers_) *
+                          config.master_balance_slack + 1.0));
+  }
+
+  PlacementResult Build();
+
+ private:
+  bool HasReplica(UserId v, ServerId s) const {
+    return std::binary_search(replicas_[v].begin(), replicas_[v].end(), s);
+  }
+
+  void AddReplica(UserId v, ServerId s) {
+    auto& r = replicas_[v];
+    const auto it = std::lower_bound(r.begin(), r.end(), s);
+    assert(it == r.end() || *it != s);
+    r.insert(it, s);
+    ++load_[s];
+  }
+
+  void RemoveReplica(UserId v, ServerId s) {
+    auto& r = replicas_[v];
+    const auto it = std::lower_bound(r.begin(), r.end(), s);
+    assert(it != r.end() && *it == s);
+    r.erase(it);
+    --load_[s];
+  }
+
+  bool HasSpace(ServerId s) const { return load_[s] < capacity_; }
+
+  // Creates a replica if the requirement is unmet and space allows.
+  void EnsureReplica(UserId v, ServerId s) {
+    if (!HasReplica(v, s) && HasSpace(s)) AddReplica(v, s);
+  }
+
+  // Replica-count delta of moving `u`'s master to `target` (negative is
+  // good). Returns a large value if the move is infeasible.
+  int EvaluateMove(UserId u, ServerId target) const;
+  void ExecuteMove(UserId u, ServerId target);
+
+  void ProcessLink(UserId u, UserId v);
+
+  const graph::SocialGraph& g_;
+  std::uint32_t capacity_;
+  std::uint16_t num_servers_;
+  Rng rng_;
+
+  std::vector<ServerId> master_;
+  std::vector<std::vector<ServerId>> replicas_;  // sorted per view
+  std::vector<ReqTable> req_;
+  // Followees of u whose link has already been streamed (requirements
+  // already registered).
+  std::vector<std::vector<UserId>> processed_out_;
+  std::vector<std::uint32_t> load_;
+  std::vector<std::uint32_t> masters_on_;
+  std::uint32_t max_masters_ = 0;
+};
+
+int SparBuilder::EvaluateMove(UserId u, ServerId target) const {
+  constexpr int kInfeasible = 1 << 20;
+  const ServerId from = master_[u];
+  if (target == from) return kInfeasible;
+  if (masters_on_[target] >= max_masters_) return kInfeasible;
+  // The master copy itself must fit on the target.
+  if (!HasReplica(u, target) && !HasSpace(target)) return kInfeasible;
+
+  int delta = 0;
+  // u's own view: a copy appears on the target (unless already there) and
+  // the origin copy disappears if nothing else requires it.
+  if (!HasReplica(u, target)) ++delta;
+  if (req_[u].Get(from) == 1) --delta;  // only the master requirement is left
+
+  // u's processed followees must be co-located at the target; their copies
+  // at `from` free up if u carried the only requirement.
+  for (UserId w : processed_out_[u]) {
+    if (!HasReplica(w, target)) ++delta;
+    if (req_[w].Get(from) == 1 && HasReplica(w, from)) --delta;
+  }
+  return delta;
+}
+
+void SparBuilder::ExecuteMove(UserId u, ServerId target) {
+  const ServerId from = master_[u];
+
+  // Move the master copy.
+  EnsureReplica(u, target);
+  --masters_on_[from];
+  ++masters_on_[target];
+  master_[u] = target;
+  // Requirement bookkeeping for u's own view: the master-copy requirement
+  // transfers between servers.
+  req_[u].Inc(target);
+  if (req_[u].Dec(from) == 0 && HasReplica(u, from)) RemoveReplica(u, from);
+
+  // Requirements created by u's processed links transfer with the master.
+  for (UserId w : processed_out_[u]) {
+    req_[w].Inc(target);
+    EnsureReplica(w, target);
+    if (req_[w].Dec(from) == 0 && HasReplica(w, from)) RemoveReplica(w, from);
+  }
+}
+
+void SparBuilder::ProcessLink(UserId u, UserId v) {
+  processed_out_[u].push_back(v);
+  req_[v].Inc(master_[u]);
+
+  const int keep = HasReplica(v, master_[u]) ? 0 : 1;
+  const int move_u = EvaluateMove(u, master_[v]);
+  const int move_v = EvaluateMove(v, master_[u]);
+
+  if (move_u < keep && move_u <= move_v) {
+    ExecuteMove(u, master_[v]);
+  } else if (move_v < keep) {
+    ExecuteMove(v, master_[u]);
+  }
+  // Satisfy the new requirement in the final configuration, space allowing
+  // (the paper's memory-bounded adaptation skips creation on full servers).
+  EnsureReplica(v, master_[u]);
+}
+
+PlacementResult SparBuilder::Build() {
+  const std::uint32_t n = g_.num_users();
+
+  // Phase 1 (paper §4.4): one master replica per user, load-balanced.
+  std::vector<UserId> user_order(n);
+  std::iota(user_order.begin(), user_order.end(), 0);
+  rng_.Shuffle(user_order);
+  for (UserId u : user_order) {
+    ServerId best = 0;
+    for (ServerId s = 1; s < num_servers_; ++s) {
+      if (masters_on_[s] < masters_on_[best]) best = s;
+    }
+    master_[u] = best;
+    ++masters_on_[best];
+    AddReplica(u, best);
+    req_[u].Inc(best);
+  }
+
+  // Phase 2: stream every social link in random order.
+  std::vector<std::pair<UserId, UserId>> links;
+  links.reserve(g_.num_links());
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v : g_.Followees(u)) {
+      if (g_.directed() || u < v) links.emplace_back(u, v);
+    }
+  }
+  rng_.Shuffle(links);
+  for (const auto& [u, v] : links) {
+    ProcessLink(u, v);
+    // Undirected friendships require co-location both ways.
+    if (!g_.directed()) ProcessLink(v, u);
+  }
+
+  PlacementResult result;
+  result.replicas = std::move(replicas_);
+  result.master = std::move(master_);
+  return result;
+}
+
+}  // namespace
+
+PlacementResult SparPlacement(const graph::SocialGraph& g,
+                              const net::Topology& topo,
+                              std::uint32_t capacity_per_server,
+                              const SparConfig& config) {
+  assert(static_cast<std::uint64_t>(capacity_per_server) * topo.num_servers() >=
+         g.num_users());
+  SparBuilder builder(g, topo, capacity_per_server, config);
+  return builder.Build();
+}
+
+}  // namespace dynasore::place

@@ -1,0 +1,183 @@
+#include "sim/experiment.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dynasore::sim {
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kRandom:
+      return "random";
+    case Policy::kMetis:
+      return "metis";
+    case Policy::kHMetis:
+      return "hmetis";
+    case Policy::kSpar:
+      return "spar";
+    case Policy::kDynaSoRe:
+      return "dynasore";
+  }
+  return "unknown";
+}
+
+const char* InitName(Init init) {
+  switch (init) {
+    case Init::kRandom:
+      return "random";
+    case Init::kMetis:
+      return "metis";
+    case Init::kHMetis:
+      return "hmetis";
+  }
+  return "unknown";
+}
+
+net::Topology MakeTopology(const ClusterConfig& config) {
+  return config.flat ? net::Topology::MakeFlat(config.flat_machines)
+                     : net::Topology::MakeTree(config.tree);
+}
+
+std::uint32_t CapacityPerServer(std::uint32_t num_views,
+                                std::uint16_t num_servers, double extra_pct) {
+  const double total = (1.0 + extra_pct / 100.0) * num_views;
+  return static_cast<std::uint32_t>(
+      std::ceil(total / static_cast<double>(num_servers)));
+}
+
+place::PlacementResult MakeInitialPlacement(const graph::SocialGraph& g,
+                                            const net::Topology& topo,
+                                            std::uint32_t capacity,
+                                            const ExperimentConfig& config) {
+  switch (config.policy) {
+    case Policy::kRandom:
+      return place::RandomPlacement(g.num_users(), topo, capacity,
+                                    config.seed);
+    case Policy::kMetis:
+      return place::PartitionPlacement(g, topo, capacity, config.seed,
+                                       /*hierarchical=*/false);
+    case Policy::kHMetis:
+      return place::PartitionPlacement(g, topo, capacity, config.seed,
+                                       /*hierarchical=*/!topo.is_flat());
+    case Policy::kSpar: {
+      place::SparConfig spar;
+      spar.seed = config.seed;
+      return place::SparPlacement(g, topo, capacity, spar);
+    }
+    case Policy::kDynaSoRe:
+      switch (config.init) {
+        case Init::kRandom:
+          return place::RandomPlacement(g.num_users(), topo, capacity,
+                                        config.seed);
+        case Init::kMetis:
+          return place::PartitionPlacement(g, topo, capacity, config.seed,
+                                           /*hierarchical=*/false);
+        case Init::kHMetis:
+          return place::PartitionPlacement(g, topo, capacity, config.seed,
+                                           /*hierarchical=*/!topo.is_flat());
+      }
+  }
+  return place::RandomPlacement(g.num_users(), topo, capacity, config.seed);
+}
+
+Simulator::Simulator(const graph::SocialGraph& g,
+                     const ExperimentConfig& config)
+    : graph_(&g), config_(config), topo_(MakeTopology(config.cluster)) {
+  core::EngineConfig engine_config = config_.engine;
+  engine_config.store.capacity_views =
+      CapacityPerServer(g.num_users(), topo_.num_servers(),
+                        config_.extra_memory_pct);
+  engine_config.adaptive = config_.policy == Policy::kDynaSoRe;
+  const place::PlacementResult placement = MakeInitialPlacement(
+      g, topo_, engine_config.store.capacity_views, config_);
+  engine_ = std::make_unique<core::Engine>(topo_, placement, engine_config);
+}
+
+SimResult Simulator::Run(const wl::RequestLog& log,
+                         const RunOptions& options) {
+  core::Engine& engine = *engine_;
+  const std::uint32_t slot_seconds = engine.config().slot_seconds;
+  SimTime next_tick = slot_seconds;
+  SimTime next_sample = options.sampler ? options.sample_interval
+                                        : std::numeric_limits<SimTime>::max();
+
+  std::vector<ViewId> targets;
+  for (const Request& request : log.requests) {
+    while (request.time >= next_tick) {
+      engine.Tick(next_tick);
+      next_tick += slot_seconds;
+    }
+    while (request.time >= next_sample) {
+      options.sampler(next_sample, engine);
+      next_sample += options.sample_interval;
+    }
+    if (request.op == OpType::kWrite) {
+      engine.ExecuteWrite(request.user, request.time);
+      continue;
+    }
+    const auto followees = graph_->Followees(request.user);
+    // Flash events overlay temporary follow edges (§4.6).
+    bool overlaid = false;
+    for (const wl::FlashEvent& flash : options.flash) {
+      if (flash.ActiveAt(request.time) && flash.IsFollower(request.user)) {
+        if (!overlaid) {
+          targets.assign(followees.begin(), followees.end());
+          overlaid = true;
+        }
+        targets.push_back(flash.celebrity);
+      }
+    }
+    if (overlaid) {
+      engine.ExecuteRead(request.user, targets, request.time);
+    } else {
+      engine.ExecuteRead(request.user, followees, request.time);
+    }
+  }
+  // Flush remaining ticks and samples up to the log's end.
+  while (next_tick <= log.duration) {
+    engine.Tick(next_tick);
+    next_tick += slot_seconds;
+  }
+  while (options.sampler && next_sample <= log.duration) {
+    options.sampler(next_sample, engine);
+    next_sample += options.sample_interval;
+  }
+
+  SimResult result;
+  const net::TrafficRecorder& traffic = engine.traffic();
+  const std::uint32_t bucket_seconds = traffic.config().bucket_seconds;
+  const std::size_t window_from =
+      static_cast<std::size_t>(options.measure_from / bucket_seconds);
+  const std::size_t end = traffic.NumBuckets();
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    const auto t = static_cast<net::Tier>(tier);
+    result.full_run[tier].app =
+        static_cast<double>(traffic.TierTotal(t, net::MsgClass::kApp));
+    result.full_run[tier].sys =
+        static_cast<double>(traffic.TierTotal(t, net::MsgClass::kSystem));
+    result.window[tier].app = static_cast<double>(
+        traffic.SeriesRange(t, net::MsgClass::kApp, window_from, end));
+    result.window[tier].sys = static_cast<double>(
+        traffic.SeriesRange(t, net::MsgClass::kSystem, window_from, end));
+  }
+  const auto& app_series = traffic.Series(net::Tier::kTop, net::MsgClass::kApp);
+  const auto& sys_series =
+      traffic.Series(net::Tier::kTop, net::MsgClass::kSystem);
+  result.top_app_series.assign(app_series.begin(), app_series.end());
+  result.top_sys_series.assign(sys_series.begin(), sys_series.end());
+  result.avg_replicas = engine.registry().AvgReplicas();
+  result.memory_used = engine.TotalUsed();
+  result.memory_capacity = engine.TotalCapacity();
+  result.counters = engine.counters();
+  return result;
+}
+
+SimResult RunExperiment(const graph::SocialGraph& g,
+                        const wl::RequestLog& log,
+                        const ExperimentConfig& config,
+                        const RunOptions& options) {
+  Simulator simulator(g, config);
+  return simulator.Run(log, options);
+}
+
+}  // namespace dynasore::sim

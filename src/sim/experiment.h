@@ -1,0 +1,107 @@
+// Experiment harness: builds the paper's virtual data center (§4.3 — one top
+// switch, 5 intermediates x 5 racks x 10 machines, 1 broker + 9 cache
+// servers per rack; or the flat 250-machine cluster of §4.5), dispatches the
+// initial placement for a policy, replays a request log through the engine
+// (rotating counters hourly), and collects per-tier traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/social_graph.h"
+#include "net/topology.h"
+#include "placement/placement.h"
+#include "workload/flash.h"
+#include "workload/request_log.h"
+
+namespace dynasore::sim {
+
+enum class Policy { kRandom, kMetis, kHMetis, kSpar, kDynaSoRe };
+enum class Init { kRandom, kMetis, kHMetis };
+
+const char* PolicyName(Policy policy);
+const char* InitName(Init init);
+
+struct ClusterConfig {
+  bool flat = false;
+  net::TreeConfig tree;              // defaults to the paper's 5x5x10
+  std::uint16_t flat_machines = 250;  // §4.5 configuration
+};
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+  // x% extra memory: total capacity is (1 + x/100) * |V| views (§2.3).
+  double extra_memory_pct = 50.0;
+  Policy policy = Policy::kDynaSoRe;
+  Init init = Init::kRandom;  // initial placement for DynaSoRe
+  core::EngineConfig engine;  // capacity_views is filled in by the builder
+  std::uint64_t seed = 1;
+};
+
+struct TierTraffic {
+  double app = 0;
+  double sys = 0;
+  double total() const { return app + sys; }
+};
+
+struct SimResult {
+  // Indexed by net::Tier. `window` covers [measure_from, end) — the
+  // steady-state figures; `full_run` covers everything.
+  std::array<TierTraffic, net::kNumTiers> window{};
+  std::array<TierTraffic, net::kNumTiers> full_run{};
+  // Per-bucket top-switch traffic (Figs 4 and 6).
+  std::vector<double> top_app_series;
+  std::vector<double> top_sys_series;
+  double avg_replicas = 1.0;
+  std::uint64_t memory_used = 0;
+  std::uint64_t memory_capacity = 0;
+  core::EngineCounters counters;
+};
+
+struct RunOptions {
+  SimTime measure_from = 0;
+  std::span<const wl::FlashEvent> flash;
+  // Optional periodic sampler (Fig 5 uses 10-minute samples).
+  std::function<void(SimTime, core::Engine&)> sampler;
+  SimTime sample_interval = 600;
+};
+
+net::Topology MakeTopology(const ClusterConfig& config);
+
+// ceil((1 + extra/100) * views / servers), the per-server view budget.
+std::uint32_t CapacityPerServer(std::uint32_t num_views,
+                                std::uint16_t num_servers, double extra_pct);
+
+place::PlacementResult MakeInitialPlacement(const graph::SocialGraph& g,
+                                            const net::Topology& topo,
+                                            std::uint32_t capacity,
+                                            const ExperimentConfig& config);
+
+class Simulator {
+ public:
+  Simulator(const graph::SocialGraph& g, const ExperimentConfig& config);
+
+  SimResult Run(const wl::RequestLog& log, const RunOptions& options = {});
+
+  core::Engine& engine() { return *engine_; }
+  const net::Topology& topology() const { return topo_; }
+
+ private:
+  const graph::SocialGraph* graph_;
+  ExperimentConfig config_;
+  net::Topology topo_;
+  std::unique_ptr<core::Engine> engine_;
+};
+
+// One-shot convenience used by the benches.
+SimResult RunExperiment(const graph::SocialGraph& g,
+                        const wl::RequestLog& log,
+                        const ExperimentConfig& config,
+                        const RunOptions& options = {});
+
+}  // namespace dynasore::sim

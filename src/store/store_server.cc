@@ -1,0 +1,163 @@
+#include "store/store_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynasore::store {
+
+void ReplicaStats::RecordRead(std::uint16_t origin, std::uint32_t n) {
+  CounterFor(origin).Add(n);
+}
+
+void ReplicaStats::RecordWrite(std::uint32_t n) { writes_.Add(n); }
+
+void ReplicaStats::Rotate() {
+  writes_.Rotate();
+  for (auto& entry : reads_) entry.counter.Rotate();
+  // Drop origins whose whole window emptied, keeping the scans short.
+  std::erase_if(reads_,
+                [](const OriginCounter& c) { return c.counter.IsZero(); });
+}
+
+std::uint32_t ReplicaStats::ReadsFrom(std::uint16_t origin) const {
+  for (const auto& entry : reads_) {
+    if (entry.origin == origin) return entry.counter.Total();
+  }
+  return 0;
+}
+
+std::uint32_t ReplicaStats::TotalReads() const {
+  std::uint32_t total = 0;
+  for (const auto& entry : reads_) total += entry.counter.Total();
+  return total;
+}
+
+void ReplicaStats::CollectReads(std::vector<OriginReads>& out) const {
+  out.clear();
+  for (const auto& entry : reads_) {
+    if (entry.counter.Total() > 0) {
+      out.push_back(OriginReads{entry.origin, entry.counter.Total()});
+    }
+  }
+}
+
+void ReplicaStats::MergeRemapped(
+    const ReplicaStats& other,
+    const std::function<std::vector<std::uint16_t>(std::uint16_t)>& remap,
+    bool include_writes) {
+  for (const auto& entry : other.reads_) {
+    const std::uint32_t total = entry.counter.Total();
+    if (total == 0) continue;
+    const std::vector<std::uint16_t> targets = remap(entry.origin);
+    if (targets.empty()) continue;
+    const auto share =
+        static_cast<std::uint32_t>(total / targets.size());
+    std::uint32_t remainder =
+        total - share * static_cast<std::uint32_t>(targets.size());
+    for (std::uint16_t target : targets) {
+      std::uint32_t amount = share;
+      if (remainder > 0) {
+        ++amount;
+        --remainder;
+      }
+      if (amount > 0) CounterFor(target).Add(amount);
+    }
+  }
+  if (include_writes) writes_.Merge(other.writes_);
+}
+
+std::uint32_t ReplicaStats::ExtractOrigin(std::uint16_t origin) {
+  auto it = std::lower_bound(
+      reads_.begin(), reads_.end(), origin,
+      [](const OriginCounter& c, std::uint16_t o) { return c.origin < o; });
+  if (it == reads_.end() || it->origin != origin) return 0;
+  const std::uint32_t total = it->counter.Total();
+  reads_.erase(it);
+  return total;
+}
+
+common::RotatingCounter& ReplicaStats::CounterFor(std::uint16_t origin) {
+  auto it = std::lower_bound(
+      reads_.begin(), reads_.end(), origin,
+      [](const OriginCounter& c, std::uint16_t o) { return c.origin < o; });
+  if (it == reads_.end() || it->origin != origin) {
+    it = reads_.insert(
+        it, OriginCounter{origin, common::RotatingCounter(counter_slots_)});
+  }
+  return it->counter;
+}
+
+StoreServer::StoreServer(ServerId id, const StoreConfig& config)
+    : id_(id), config_(config) {
+  assert(config.capacity_views > 0);
+}
+
+bool StoreServer::Insert(ViewId view) {
+  if (Has(view)) return true;
+  if (Full()) return false;
+  auto [it, inserted] = replicas_.emplace(view, Entry(config_.counter_slots));
+  if (inserted && config_.payload_mode) {
+    it->second.data = std::make_unique<ViewData>(config_.max_events_per_view);
+  }
+  return true;
+}
+
+void StoreServer::Erase(ViewId view) { replicas_.erase(view); }
+
+ReplicaStats* StoreServer::Find(ViewId view) {
+  auto it = replicas_.find(view);
+  return it == replicas_.end() ? nullptr : &it->second.stats;
+}
+
+const ReplicaStats* StoreServer::Find(ViewId view) const {
+  auto it = replicas_.find(view);
+  return it == replicas_.end() ? nullptr : &it->second.stats;
+}
+
+void StoreServer::RecordRead(ViewId view, std::uint16_t origin) {
+  auto it = replicas_.find(view);
+  assert(it != replicas_.end());
+  it->second.stats.RecordRead(origin);
+}
+
+void StoreServer::RecordWrite(ViewId view) {
+  auto it = replicas_.find(view);
+  assert(it != replicas_.end());
+  it->second.stats.RecordWrite();
+}
+
+void StoreServer::RotateCounters() {
+  for (auto& [view, entry] : replicas_) entry.stats.Rotate();
+}
+
+double StoreServer::utility(ViewId view) const {
+  auto it = replicas_.find(view);
+  assert(it != replicas_.end());
+  return it->second.utility;
+}
+
+void StoreServer::set_utility(ViewId view, double utility) {
+  auto it = replicas_.find(view);
+  assert(it != replicas_.end());
+  it->second.utility = utility;
+}
+
+std::vector<ViewId> StoreServer::SortedViews() const {
+  std::vector<ViewId> views;
+  views.reserve(replicas_.size());
+  for (const auto& [view, entry] : replicas_) views.push_back(view);
+  std::sort(views.begin(), views.end());
+  return views;
+}
+
+ViewData* StoreServer::FindData(ViewId view) {
+  auto it = replicas_.find(view);
+  return it == replicas_.end() ? nullptr : it->second.data.get();
+}
+
+const ViewData* StoreServer::FindData(ViewId view) const {
+  auto it = replicas_.find(view);
+  return it == replicas_.end() ? nullptr : it->second.data.get();
+}
+
+}  // namespace dynasore::store

@@ -1,0 +1,150 @@
+// One DynaSoRe cache server (paper §3.2 "Storage management"): a bounded
+// in-memory key-value store whose capacity is expressed in views, holding
+// per-replica access statistics (sparse per-origin rotating read counters
+// plus a write counter), per-replica utilities, and the server's admission
+// threshold.
+//
+// The server is mechanism only; the *policy* (Algorithms 1-3, which need the
+// topology and the global replica registry) lives in core::Engine, which
+// recomputes utilities and thresholds after every counter rotation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rotating_counter.h"
+#include "common/types.h"
+#include "store/view_data.h"
+
+namespace dynasore::store {
+
+struct StoreConfig {
+  std::uint32_t capacity_views = 1024;
+  // Eviction watermark: a background sweep frees memory above this fill
+  // fraction so new replicas can always be deployed (§3.2 uses 95%).
+  double evict_watermark = 0.95;
+  // Fill fraction that must be occupied by views above the admission
+  // threshold (§3.2 uses 90%).
+  double threshold_fill = 0.90;
+  std::uint8_t counter_slots = 24;
+  // Replicas are pinned (infinite utility, not evictable) while the view has
+  // at most this many replicas system-wide. 1 = paper default; higher values
+  // give the in-memory durability mode of §3.3.
+  std::uint32_t min_replicas_pin = 1;
+  bool payload_mode = false;
+  std::size_t max_events_per_view = 64;
+};
+
+inline constexpr double kInfiniteUtility =
+    std::numeric_limits<double>::infinity();
+
+// Per-replica access log: reads per origin (sparse; a tree server has at
+// most racks_per_intermediate + intermediates - 1 origins) plus writes.
+class ReplicaStats {
+ public:
+  explicit ReplicaStats(std::uint8_t counter_slots)
+      : writes_(counter_slots), counter_slots_(counter_slots) {}
+
+  void RecordRead(std::uint16_t origin, std::uint32_t n = 1);
+  void RecordWrite(std::uint32_t n = 1);
+  void Rotate();
+
+  std::uint32_t ReadsFrom(std::uint16_t origin) const;
+  std::uint32_t TotalReads() const;
+  std::uint32_t TotalWrites() const { return writes_.Total(); }
+
+  // Sorted (origin, reads-in-window) pairs with non-zero counts.
+  struct OriginReads {
+    std::uint16_t origin;
+    std::uint32_t reads;
+  };
+  void CollectReads(std::vector<OriginReads>& out) const;
+
+  // Folds another replica's statistics into this one, re-mapping each origin
+  // through `remap` (used on migration and eviction; see DESIGN.md §4).
+  // `include_writes` merges the write counter too — correct for migrations
+  // (the log moves wholesale) but wrong for evictions, where the surviving
+  // replica already recorded every write itself.
+  void MergeRemapped(const ReplicaStats& other,
+                     const std::function<std::vector<std::uint16_t>(
+                         std::uint16_t)>& remap,
+                     bool include_writes = true);
+
+  // Removes one origin's window and returns its read count. Used when a new
+  // replica takes over an origin's traffic: the read history moves with it.
+  std::uint32_t ExtractOrigin(std::uint16_t origin);
+
+ private:
+  struct OriginCounter {
+    std::uint16_t origin;
+    common::RotatingCounter counter;
+  };
+  // Sorted by origin; linear scans are fine at these cardinalities.
+  std::vector<OriginCounter> reads_;
+  common::RotatingCounter writes_;
+  std::uint8_t counter_slots_;
+
+  common::RotatingCounter& CounterFor(std::uint16_t origin);
+};
+
+class StoreServer {
+ public:
+  StoreServer(ServerId id, const StoreConfig& config);
+
+  ServerId id() const { return id_; }
+  const StoreConfig& config() const { return config_; }
+  std::uint32_t capacity() const { return config_.capacity_views; }
+  std::uint32_t used() const { return static_cast<std::uint32_t>(replicas_.size()); }
+  bool Full() const { return used() >= capacity(); }
+  bool AboveWatermark() const {
+    return static_cast<double>(used()) >
+           config_.evict_watermark * capacity();
+  }
+
+  bool Has(ViewId view) const { return replicas_.contains(view); }
+
+  // Inserts an empty replica; fails (returns false) at capacity.
+  bool Insert(ViewId view);
+  void Erase(ViewId view);
+
+  ReplicaStats* Find(ViewId view);
+  const ReplicaStats* Find(ViewId view) const;
+
+  void RecordRead(ViewId view, std::uint16_t origin);
+  void RecordWrite(ViewId view);
+
+  void RotateCounters();
+
+  double admission_threshold() const { return admission_threshold_; }
+  void set_admission_threshold(double t) { admission_threshold_ = t; }
+
+  double utility(ViewId view) const;
+  void set_utility(ViewId view, double utility);
+
+  // View ids held, sorted ascending (deterministic iteration for ticks).
+  std::vector<ViewId> SortedViews() const;
+
+  // Payload mode.
+  ViewData* FindData(ViewId view);
+  const ViewData* FindData(ViewId view) const;
+
+ private:
+  struct Entry {
+    explicit Entry(std::uint8_t slots) : stats(slots) {}
+    ReplicaStats stats;
+    double utility = 0;
+    std::unique_ptr<ViewData> data;  // only in payload mode
+  };
+
+  ServerId id_;
+  StoreConfig config_;
+  std::unordered_map<ViewId, Entry> replicas_;
+  double admission_threshold_ = 0;
+};
+
+}  // namespace dynasore::store

@@ -1,0 +1,58 @@
+// Event and view payloads for the library's payload mode, in which cache
+// servers hold actual bytes (examples and the Client facade use this; the
+// large-scale experiments run metadata-only for speed, as the paper's own
+// simulator does).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynasore::store {
+
+// One piece of user-produced content. The paper treats events as opaque
+// fixed-size byte arrays (e.g. 140-character posts); heavy media lives in
+// dedicated stores, not in the cache.
+struct Event {
+  UserId author = 0;
+  SimTime time = 0;
+  std::string payload;
+};
+
+// A producer-pivoted view: the most recent events a user has produced,
+// newest last. Bounded so a view's memory footprint is fixed.
+class ViewData {
+ public:
+  explicit ViewData(std::size_t max_events = 64) : max_events_(max_events) {}
+
+  void Append(Event event);
+  void ReplaceWith(std::span<const Event> events);
+
+  std::span<const Event> events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  std::size_t max_events() const { return max_events_; }
+
+ private:
+  std::size_t max_events_;
+  std::vector<Event> events_;
+};
+
+inline void ViewData::Append(Event event) {
+  events_.push_back(std::move(event));
+  if (events_.size() > max_events_) {
+    events_.erase(events_.begin(),
+                  events_.begin() +
+                      static_cast<std::ptrdiff_t>(events_.size() - max_events_));
+  }
+}
+
+inline void ViewData::ReplaceWith(std::span<const Event> events) {
+  const std::size_t take = std::min(events.size(), max_events_);
+  events_.assign(events.end() - static_cast<std::ptrdiff_t>(take),
+                 events.end());
+}
+
+}  // namespace dynasore::store

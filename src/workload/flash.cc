@@ -1,0 +1,34 @@
+#include "workload/flash.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynasore::wl {
+
+bool FlashEvent::IsFollower(UserId u) const {
+  return std::binary_search(followers.begin(), followers.end(), u);
+}
+
+FlashEvent MakeFlashEvent(const graph::SocialGraph& g,
+                          const FlashConfig& config, common::Rng& rng) {
+  assert(g.num_users() > config.extra_followers + 1);
+  FlashEvent event;
+  event.start = config.start;
+  event.end = config.end;
+  event.celebrity = static_cast<UserId>(rng.NextBounded(g.num_users()));
+
+  std::unordered_set<UserId> picked;
+  picked.reserve(config.extra_followers * 2);
+  const auto existing = g.Followers(event.celebrity);
+  const std::unordered_set<UserId> already(existing.begin(), existing.end());
+  while (picked.size() < config.extra_followers) {
+    const auto u = static_cast<UserId>(rng.NextBounded(g.num_users()));
+    if (u == event.celebrity || already.contains(u)) continue;
+    picked.insert(u);
+  }
+  event.followers.assign(picked.begin(), picked.end());
+  std::sort(event.followers.begin(), event.followers.end());
+  return event;
+}
+
+}  // namespace dynasore::wl

@@ -1,0 +1,35 @@
+// Flash-event model (paper §4.6): at `start` a randomly chosen user gains
+// `extra_followers` random followers who begin reading her view; at `end`
+// they all unfollow. The simulator overlays these temporary edges on the
+// static graph when expanding read requests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/social_graph.h"
+
+namespace dynasore::wl {
+
+struct FlashConfig {
+  SimTime start = 2 * kSecondsPerDay;
+  SimTime end = 7 * kSecondsPerDay;
+  std::uint32_t extra_followers = 100;
+};
+
+struct FlashEvent {
+  UserId celebrity = 0;
+  std::vector<UserId> followers;  // sorted
+  SimTime start = 0;
+  SimTime end = 0;
+
+  bool ActiveAt(SimTime t) const { return t >= start && t < end; }
+  bool IsFollower(UserId u) const;
+};
+
+FlashEvent MakeFlashEvent(const graph::SocialGraph& g,
+                          const FlashConfig& config, common::Rng& rng);
+
+}  // namespace dynasore::wl

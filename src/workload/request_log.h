@@ -1,0 +1,28 @@
+// A request log is a time-ordered sequence of read/write requests replayed
+// by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dynasore::wl {
+
+struct RequestLog {
+  std::vector<Request> requests;  // sorted by time
+  SimTime duration = 0;           // seconds covered by the log
+  std::uint64_t num_reads = 0;
+  std::uint64_t num_writes = 0;
+};
+
+// Per-day read/write counts (Fig 2 of the paper reports these for the
+// Yahoo! News Activity trace).
+struct DailyProfile {
+  std::vector<std::uint64_t> reads_per_day;
+  std::vector<std::uint64_t> writes_per_day;
+};
+
+DailyProfile ComputeDailyProfile(const RequestLog& log);
+
+}  // namespace dynasore::wl

@@ -1,0 +1,85 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dynasore::wl {
+
+using common::AliasTable;
+using common::Rng;
+
+namespace {
+
+std::vector<double> LogDegreeWeights(const graph::SocialGraph& g,
+                                     bool use_followers) {
+  std::vector<double> weights(g.num_users());
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    const std::uint32_t degree =
+        use_followers ? g.InDegree(u) : g.OutDegree(u);
+    weights[u] = std::log1p(static_cast<double>(degree));
+  }
+  return weights;
+}
+
+}  // namespace
+
+RequestLog GenerateSyntheticLog(const graph::SocialGraph& g,
+                                const SyntheticLogConfig& config) {
+  assert(config.days > 0);
+  Rng rng(config.seed);
+  const auto duration =
+      static_cast<SimTime>(config.days * static_cast<double>(kSecondsPerDay));
+
+  const auto num_writes = static_cast<std::uint64_t>(
+      config.writes_per_user_per_day * config.days * g.num_users());
+  const auto num_reads =
+      static_cast<std::uint64_t>(config.reads_per_write * num_writes);
+
+  const AliasTable write_sampler(LogDegreeWeights(g, /*use_followers=*/true));
+  const AliasTable read_sampler(LogDegreeWeights(g, /*use_followers=*/false));
+
+  RequestLog log;
+  log.duration = duration;
+  log.num_writes = num_writes;
+  log.num_reads = num_reads;
+  log.requests.reserve(num_writes + num_reads);
+  for (std::uint64_t i = 0; i < num_writes; ++i) {
+    log.requests.push_back(
+        Request{rng.NextBounded(duration),
+                static_cast<UserId>(write_sampler.Sample(rng)),
+                OpType::kWrite});
+  }
+  for (std::uint64_t i = 0; i < num_reads; ++i) {
+    log.requests.push_back(
+        Request{rng.NextBounded(duration),
+                static_cast<UserId>(read_sampler.Sample(rng)), OpType::kRead});
+  }
+  std::sort(log.requests.begin(), log.requests.end(),
+            [](const Request& a, const Request& b) { return a.time < b.time; });
+  return log;
+}
+
+DailyProfile ComputeDailyProfile(const RequestLog& log) {
+  DailyProfile profile;
+  const std::size_t days =
+      static_cast<std::size_t>((log.duration + kSecondsPerDay - 1) /
+                               kSecondsPerDay);
+  profile.reads_per_day.assign(days, 0);
+  profile.writes_per_day.assign(days, 0);
+  for (const Request& r : log.requests) {
+    const std::size_t day =
+        std::min(days - 1, static_cast<std::size_t>(r.time / kSecondsPerDay));
+    if (r.op == OpType::kRead) {
+      ++profile.reads_per_day[day];
+    } else {
+      ++profile.writes_per_day[day];
+    }
+  }
+  return profile;
+}
+
+}  // namespace dynasore::wl

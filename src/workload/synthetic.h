@@ -1,0 +1,26 @@
+// Synthetic request log per the paper's §4.2: user read/write activity is
+// proportional to the logarithm of their degrees (Huberman et al.), there
+// are 4 reads per write (Silberstein et al.), each user writes on average
+// once per day, and requests are spread evenly over time.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/social_graph.h"
+#include "workload/request_log.h"
+
+namespace dynasore::wl {
+
+struct SyntheticLogConfig {
+  double days = 3.0;
+  double reads_per_write = 4.0;
+  double writes_per_user_per_day = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// Write activity scales with log(1 + followers) (a user's audience), read
+// activity with log(1 + followees) (how much there is to read).
+RequestLog GenerateSyntheticLog(const graph::SocialGraph& g,
+                                const SyntheticLogConfig& config);
+
+}  // namespace dynasore::wl

@@ -1,0 +1,107 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dynasore::wl {
+
+using common::AliasTable;
+using common::Rng;
+
+namespace {
+
+// Hour-of-day weights: low at night, peaking in the evening.
+std::vector<double> DiurnalWeights(double amplitude) {
+  std::vector<double> weights(24);
+  for (int h = 0; h < 24; ++h) {
+    const double phase = 2.0 * M_PI * (h - 20) / 24.0;  // peak at 20:00
+    weights[h] = std::max(0.05, 1.0 + amplitude * std::cos(phase));
+  }
+  return weights;
+}
+
+SimTime SampleTimeInDay(std::size_t day, const AliasTable& hours, Rng& rng) {
+  const auto hour = static_cast<SimTime>(hours.Sample(rng));
+  const SimTime within = rng.NextBounded(kSecondsPerHour);
+  return static_cast<SimTime>(day) * kSecondsPerDay + hour * kSecondsPerHour +
+         within;
+}
+
+}  // namespace
+
+RequestLog GenerateActivityTrace(const graph::SocialGraph& g,
+                                 const TraceLogConfig& config) {
+  assert(config.days > 0);
+  Rng rng(config.seed);
+  const auto num_days = static_cast<std::size_t>(std::ceil(config.days));
+  const auto duration =
+      static_cast<SimTime>(config.days * static_cast<double>(kSecondsPerDay));
+
+  // Daily volume factors: lognormal noise plus a weekend dip.
+  std::vector<double> day_factor(num_days);
+  double factor_sum = 0;
+  for (std::size_t d = 0; d < num_days; ++d) {
+    // Box-Muller normal draw.
+    const double u1 = std::max(rng.NextDouble(), 0x1.0p-53);
+    const double u2 = rng.NextDouble();
+    const double normal =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    double factor = std::exp(config.day_noise_sigma * normal -
+                             0.5 * config.day_noise_sigma *
+                                 config.day_noise_sigma);
+    if (d % 7 == 5 || d % 7 == 6) factor *= config.weekend_factor;
+    day_factor[d] = factor;
+    factor_sum += factor;
+  }
+
+  const double scale = config.days / 14.0;
+  const double total_writes_target =
+      config.writes_per_user_14d * g.num_users() * scale;
+  const double total_reads_target =
+      config.reads_per_user_14d * g.num_users() * scale;
+
+  // Activity is coupled to degree by rank, as in the paper's mapping of the
+  // trace onto the Facebook graph.
+  std::vector<double> write_weights(g.num_users());
+  std::vector<double> read_weights(g.num_users());
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    write_weights[u] = std::log1p(static_cast<double>(g.InDegree(u)));
+    read_weights[u] = std::log1p(static_cast<double>(g.OutDegree(u)));
+  }
+  const AliasTable write_sampler(write_weights);
+  const AliasTable read_sampler(read_weights);
+  const AliasTable hours(DiurnalWeights(config.diurnal_amplitude));
+
+  RequestLog log;
+  log.duration = duration;
+  for (std::size_t d = 0; d < num_days; ++d) {
+    const double share = day_factor[d] / factor_sum;
+    const auto writes_today =
+        static_cast<std::uint64_t>(total_writes_target * share + 0.5);
+    const auto reads_today = static_cast<std::uint64_t>(
+        total_reads_target * share + 0.5);
+    for (std::uint64_t i = 0; i < writes_today; ++i) {
+      SimTime t = SampleTimeInDay(d, hours, rng);
+      if (t >= duration) t = duration - 1;
+      log.requests.push_back(Request{
+          t, static_cast<UserId>(write_sampler.Sample(rng)), OpType::kWrite});
+    }
+    for (std::uint64_t i = 0; i < reads_today; ++i) {
+      SimTime t = SampleTimeInDay(d, hours, rng);
+      if (t >= duration) t = duration - 1;
+      log.requests.push_back(Request{
+          t, static_cast<UserId>(read_sampler.Sample(rng)), OpType::kRead});
+    }
+    log.num_writes += writes_today;
+    log.num_reads += reads_today;
+  }
+  std::sort(log.requests.begin(), log.requests.end(),
+            [](const Request& a, const Request& b) { return a.time < b.time; });
+  return log;
+}
+
+}  // namespace dynasore::wl

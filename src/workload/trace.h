@@ -1,0 +1,35 @@
+// Generator for a Yahoo!-News-Activity-shaped request trace (paper §4.2,
+// Fig 2). The real trace is proprietary; this synthetic stand-in reproduces
+// the properties the paper calls out:
+//   * write-heavy: 17M writes vs 9.8M reads over two weeks (reads made on
+//     Facebook do not reach the Yahoo! log),
+//   * bursty day-to-day volume (lognormal per-day factors + weekend dip),
+//   * a diurnal within-day pattern,
+//   * per-user activity matched to social degree by rank (the paper maps
+//     trace users onto the Facebook graph by rank correlation; sampling
+//     users with weight log(1+degree) yields the same coupling).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/social_graph.h"
+#include "workload/request_log.h"
+
+namespace dynasore::wl {
+
+struct TraceLogConfig {
+  double days = 13.0;
+  // Per-user totals over the full two-week paper trace: 17M/2.5M writes and
+  // 9.8M/2.5M reads, prorated by `days`/14.
+  double writes_per_user_14d = 17.0 / 2.5;
+  double reads_per_user_14d = 9.8 / 2.5;
+  double day_noise_sigma = 0.35;   // lognormal day-to-day volume factor
+  double weekend_factor = 0.65;    // volume multiplier on days 6,7,13,...
+  double diurnal_amplitude = 0.6;  // within-day sinusoid amplitude
+  std::uint64_t seed = 1;
+};
+
+RequestLog GenerateActivityTrace(const graph::SocialGraph& g,
+                                 const TraceLogConfig& config);
+
+}  // namespace dynasore::wl

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/rotating_counter.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace dynasore::common {
+namespace {
+
+// ----- Rng -----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedZeroReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(RngTest, NextRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t x = rng.NextRange(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LT(x, 20u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 100);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleKeepsAllElements) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng split = a.Split();
+  EXPECT_NE(a.NextU64(), split.NextU64());
+}
+
+// ----- AliasTable -----
+
+TEST(AliasTableTest, EmptyTable) {
+  AliasTable table;
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(AliasTableTest, SingleEntryAlwaysSampled) {
+  const std::vector<double> w{5.0};
+  AliasTable table(w);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(w);
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[table.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, w[i] / 10.0, 0.01)
+        << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0.0, 1.0, 0.0, 1.0};
+  AliasTable table(w);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, AllZeroFallsBackToUniform) {
+  const std::vector<double> w{0.0, 0.0, 0.0};
+  AliasTable table(w);
+  Rng rng(9);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[table.Sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 8000);
+}
+
+// ----- PowerLawSampler -----
+
+TEST(PowerLawTest, StaysInBounds) {
+  PowerLawSampler sampler(2, 100, 2.5);
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t x = sampler.Sample(rng);
+    EXPECT_GE(x, 2u);
+    EXPECT_LE(x, 100u);
+  }
+}
+
+TEST(PowerLawTest, SmallValuesDominate) {
+  PowerLawSampler sampler(1, 1000, 2.2);
+  Rng rng(13);
+  int small = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) small += sampler.Sample(rng) <= 3;
+  EXPECT_GT(small, draws / 2);
+}
+
+TEST(PowerLawTest, MeanIsFiniteAndInRange) {
+  PowerLawSampler sampler(1, 500, 2.3);
+  const double mean = sampler.Mean();
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 500.0);
+}
+
+// ----- RotatingCounter -----
+
+TEST(RotatingCounterTest, StartsEmpty) {
+  RotatingCounter c;
+  EXPECT_EQ(c.Total(), 0u);
+  EXPECT_TRUE(c.IsZero());
+}
+
+TEST(RotatingCounterTest, AddAccumulates) {
+  RotatingCounter c;
+  c.Add(3);
+  c.Add(4);
+  EXPECT_EQ(c.Total(), 7u);
+  EXPECT_EQ(c.Current(), 7u);
+}
+
+TEST(RotatingCounterTest, WindowForgetsAfterFullRotation) {
+  RotatingCounter c(4);
+  c.Add(10);
+  for (int i = 0; i < 4; ++i) c.Rotate();
+  EXPECT_EQ(c.Total(), 0u);
+}
+
+TEST(RotatingCounterTest, PartialRotationKeepsRecent) {
+  RotatingCounter c(4);
+  c.Add(10);
+  c.Rotate();
+  c.Add(5);
+  EXPECT_EQ(c.Total(), 15u);
+  c.Rotate();
+  c.Rotate();
+  c.Rotate();  // the 10 from slot 0 falls out
+  EXPECT_EQ(c.Total(), 5u);
+  c.Rotate();  // now the 5 falls out too
+  EXPECT_EQ(c.Total(), 0u);
+}
+
+TEST(RotatingCounterTest, SaturatesInsteadOfOverflowing) {
+  RotatingCounter c(2);
+  c.Add(0xFFFFu);
+  c.Add(100);  // would overflow the 16-bit slot
+  EXPECT_EQ(c.Total(), 0xFFFFu);
+}
+
+TEST(RotatingCounterTest, MergeFoldsIntoCurrentSlot) {
+  RotatingCounter a(4);
+  RotatingCounter b(4);
+  b.Add(3);
+  b.Rotate();
+  b.Add(4);
+  a.Merge(b);
+  EXPECT_EQ(a.Total(), 7u);
+}
+
+TEST(RotatingCounterTest, ClearResets) {
+  RotatingCounter c;
+  c.Add(42);
+  c.Clear();
+  EXPECT_TRUE(c.IsZero());
+}
+
+// ----- RunningStats / Quantile / Histogram -----
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(HistogramTest, CountsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0);
+  h.Add(3.0);
+  h.Add(-5.0);  // clamps to first bucket
+  h.Add(50.0);  // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+// ----- TablePrinter -----
+
+TEST(TableTest, CsvRoundTrip) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(0.12345, 2), "0.12");
+  EXPECT_EQ(TablePrinter::Fmt(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace dynasore::common

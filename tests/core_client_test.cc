@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/engine.h"
+#include "graph/social_graph.h"
+#include "net/topology.h"
+#include "persist/persistent_store.h"
+#include "placement/placement.h"
+
+namespace dynasore::core {
+namespace {
+
+net::Topology SmallTopo() {
+  return net::Topology::MakeTree(net::TreeConfig{2, 2, 3});
+}
+
+place::PlacementResult MakePlacement(
+    std::vector<std::vector<ServerId>> replicas) {
+  place::PlacementResult result;
+  for (const auto& r : replicas) result.master.push_back(r.front());
+  result.replicas = std::move(replicas);
+  return result;
+}
+
+EngineConfig PayloadConfig() {
+  EngineConfig config;
+  config.adaptive = true;
+  config.store.capacity_views = 100;
+  config.store.payload_mode = true;
+  return config;
+}
+
+// Social graph: user 1 follows user 0; user 2 follows users 0 and 1.
+graph::SocialGraph TestGraph() {
+  const std::vector<graph::Edge> edges{{1, 0}, {2, 0}, {2, 1}};
+  return graph::SocialGraph::FromEdges(3, edges, /*directed=*/true);
+}
+
+TEST(ClientTest, PostThenReadFeed) {
+  const auto topo = SmallTopo();
+  const auto graph = TestGraph();
+  Engine engine(topo, MakePlacement({{0}, {2}, {4}}), PayloadConfig());
+  persist::PersistentStore persist;
+  Client client(engine, persist, graph);
+
+  client.Post(0, "hello world", 100);
+  const auto feed = client.ReadFeed(1, 200);
+  ASSERT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed[0].payload, "hello world");
+  EXPECT_EQ(feed[0].author, 0u);
+}
+
+TEST(ClientTest, FeedMergesFolloweesNewestFirst) {
+  const auto topo = SmallTopo();
+  const auto graph = TestGraph();
+  Engine engine(topo, MakePlacement({{0}, {2}, {4}}), PayloadConfig());
+  persist::PersistentStore persist;
+  Client client(engine, persist, graph);
+
+  client.Post(0, "first", 100);
+  client.Post(1, "second", 200);
+  client.Post(0, "third", 300);
+  const auto feed = client.ReadFeed(2, 400);
+  ASSERT_EQ(feed.size(), 3u);
+  EXPECT_EQ(feed[0].payload, "third");
+  EXPECT_EQ(feed[1].payload, "second");
+  EXPECT_EQ(feed[2].payload, "first");
+}
+
+TEST(ClientTest, FeedLimitTruncates) {
+  const auto topo = SmallTopo();
+  const auto graph = TestGraph();
+  Engine engine(topo, MakePlacement({{0}, {2}, {4}}), PayloadConfig());
+  persist::PersistentStore persist;
+  Client client(engine, persist, graph);
+
+  for (int i = 0; i < 10; ++i) {
+    client.Post(0, "post " + std::to_string(i), 100 + i);
+  }
+  const auto feed = client.ReadFeed(1, 500, /*limit=*/3);
+  ASSERT_EQ(feed.size(), 3u);
+  EXPECT_EQ(feed[0].payload, "post 9");
+}
+
+TEST(ClientTest, FeedEmptyWhenNothingPosted) {
+  const auto topo = SmallTopo();
+  const auto graph = TestGraph();
+  Engine engine(topo, MakePlacement({{0}, {2}, {4}}), PayloadConfig());
+  persist::PersistentStore persist;
+  Client client(engine, persist, graph);
+  EXPECT_TRUE(client.ReadFeed(2, 100).empty());
+}
+
+TEST(ClientTest, ReplicatedViewsServeSameContent) {
+  const auto topo = SmallTopo();
+  const auto graph = TestGraph();
+  // View 0 starts replicated in both intermediates.
+  Engine engine(topo, MakePlacement({{0, 6}, {2}, {4}}), PayloadConfig());
+  persist::PersistentStore persist;
+  Client client(engine, persist, graph);
+
+  client.Post(0, "replicated everywhere", 100);
+  // Reader 1's proxy is broker 1 (master server 2): closest replica is 0.
+  const auto feed1 = client.ReadFeed(1, 200);
+  // Reader 2's proxy is broker 2 (master server 4): closest replica is 6.
+  const auto feed2 = client.ReadFeed(2, 200);
+  ASSERT_EQ(feed1.size(), 1u);
+  ASSERT_GE(feed2.size(), 1u);
+  EXPECT_EQ(feed1[0].payload, "replicated everywhere");
+  EXPECT_EQ(feed2[0].payload, "replicated everywhere");
+}
+
+TEST(ClientTest, WritesReachDynamicallyCreatedReplicas) {
+  const auto topo = SmallTopo();
+  const auto graph = TestGraph();
+  Engine engine(topo, MakePlacement({{0}, {2}, {7}}), PayloadConfig());
+  persist::PersistentStore persist;
+  Client client(engine, persist, graph);
+
+  client.Post(0, "v1", 100);
+  // Remote reads by user 2 (proxy broker 3) trigger replication of view 0.
+  client.ReadFeed(2, 200);
+  engine.Tick(3600);
+  client.ReadFeed(2, 3700);
+  // A later post must update every replica, wherever it lives.
+  client.Post(0, "v2", 4000);
+  const auto feed = client.ReadFeed(2, 4100);
+  bool saw_v2 = false;
+  for (const auto& event : feed) saw_v2 |= event.payload == "v2";
+  EXPECT_TRUE(saw_v2);
+}
+
+TEST(ClientTest, CrashRecoveryRestoresContentFromPersistentStore) {
+  const auto topo = SmallTopo();
+  const auto graph = TestGraph();
+  Engine engine(topo, MakePlacement({{0}, {2}, {4}}), PayloadConfig());
+  persist::PersistentStore persist;
+  Client client(engine, persist, graph);
+
+  client.Post(0, "durable post", 100);
+  engine.CrashServer(0, 200);  // view 0's only cache copy dies
+  const auto feed = client.ReadFeed(1, 300);
+  ASSERT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed[0].payload, "durable post");
+}
+
+}  // namespace
+}  // namespace dynasore::core

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "net/topology.h"
+#include "placement/placement.h"
+
+namespace dynasore::core {
+namespace {
+
+// Small tree: 2 intermediates x 2 racks x 3 machines = 8 servers (2 per
+// rack), 4 brokers. Rack of server s = s / 2.
+net::Topology SmallTopo() {
+  return net::Topology::MakeTree(net::TreeConfig{2, 2, 3});
+}
+
+place::PlacementResult MakePlacement(
+    std::vector<std::vector<ServerId>> replicas) {
+  place::PlacementResult result;
+  result.master.reserve(replicas.size());
+  for (const auto& r : replicas) result.master.push_back(r.front());
+  result.replicas = std::move(replicas);
+  return result;
+}
+
+TEST(ViewRegistryTest, InitialProxiesOnMasterRack) {
+  const auto topo = SmallTopo();
+  const ViewRegistry registry(MakePlacement({{0}, {5}}), topo);
+  EXPECT_EQ(registry.info(0).read_proxy, 0);   // server 0 -> rack 0
+  EXPECT_EQ(registry.info(1).read_proxy, 2);   // server 5 -> rack 2
+  EXPECT_EQ(registry.info(1).write_proxy, 2);
+}
+
+TEST(ViewRegistryTest, ClosestReplicaPrefersSameRack) {
+  const auto topo = SmallTopo();
+  // View 0 on servers 1 (rack 0) and 6 (rack 3).
+  const ViewRegistry registry(MakePlacement({{1, 6}}), topo);
+  EXPECT_EQ(registry.ClosestReplica(0, 0, topo), 1);  // broker rack 0
+  EXPECT_EQ(registry.ClosestReplica(3, 0, topo), 6);  // broker rack 3
+}
+
+TEST(ViewRegistryTest, ClosestReplicaPrefersSameIntermediate) {
+  const auto topo = SmallTopo();
+  // Replicas in rack 0 (int 0) and rack 2 (int 1); broker in rack 1 (int 0).
+  const ViewRegistry registry(MakePlacement({{0, 4}}), topo);
+  EXPECT_EQ(registry.ClosestReplica(1, 0, topo), 0);
+  // Broker in rack 3 (int 1) goes to rack 2's replica.
+  EXPECT_EQ(registry.ClosestReplica(3, 0, topo), 4);
+}
+
+TEST(ViewRegistryTest, TieBreaksOnLowerServerId) {
+  const auto topo = SmallTopo();
+  // Two replicas both at distance 5 from broker 3... use servers 0 and 2
+  // (racks 0 and 1, both intermediate 0) and broker in rack 2 (int 1).
+  const ViewRegistry registry(MakePlacement({{0, 2}}), topo);
+  EXPECT_EQ(registry.ClosestReplica(2, 0, topo), 0);
+}
+
+TEST(ViewRegistryTest, NextClosestReplica) {
+  const auto topo = SmallTopo();
+  const ViewRegistry registry(MakePlacement({{0, 1, 4}}), topo);
+  EXPECT_EQ(registry.NextClosestReplica(0, 0, topo), 1);  // same rack
+  EXPECT_EQ(registry.NextClosestReplica(4, 0, topo), 0);  // lower id wins
+}
+
+TEST(ViewRegistryTest, NextClosestOfSoleReplicaIsInvalid) {
+  const auto topo = SmallTopo();
+  const ViewRegistry registry(MakePlacement({{3}}), topo);
+  EXPECT_EQ(registry.NextClosestReplica(3, 0, topo), kInvalidServer);
+}
+
+TEST(ViewRegistryTest, AddRemoveKeepSorted) {
+  const auto topo = SmallTopo();
+  ViewRegistry registry(MakePlacement({{3}}), topo);
+  registry.AddReplica(0, 1);
+  registry.AddReplica(0, 7);
+  EXPECT_EQ(registry.info(0).replicas, (std::vector<ServerId>{1, 3, 7}));
+  EXPECT_TRUE(registry.HasReplica(0, 3));
+  registry.RemoveReplica(0, 3);
+  EXPECT_EQ(registry.info(0).replicas, (std::vector<ServerId>{1, 7}));
+  EXPECT_FALSE(registry.HasReplica(0, 3));
+  EXPECT_EQ(registry.ReplicaCount(0), 2u);
+}
+
+TEST(ViewRegistryTest, AvgReplicas) {
+  const auto topo = SmallTopo();
+  ViewRegistry registry(MakePlacement({{0}, {1, 2}, {3, 4, 5}}), topo);
+  EXPECT_DOUBLE_EQ(registry.AvgReplicas(), 2.0);
+}
+
+TEST(ViewRegistryTest, AddView) {
+  const auto topo = SmallTopo();
+  ViewRegistry registry(MakePlacement({{0}}), topo);
+  const ViewId v = registry.AddView(5, 2);
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(registry.info(v).replicas, std::vector<ServerId>{5});
+  EXPECT_EQ(registry.info(v).read_proxy, 2);
+}
+
+TEST(ViewRegistryTest, FlatTopologyRouting) {
+  const auto topo = net::Topology::MakeFlat(8);
+  const ViewRegistry registry(MakePlacement({{2, 5}}), topo);
+  // Broker 5 is the same machine as server 5: distance 0 beats 1.
+  EXPECT_EQ(registry.ClosestReplica(5, 0, topo), 5);
+  EXPECT_EQ(registry.ClosestReplica(0, 0, topo), 2);  // tie at 1, lower id
+}
+
+}  // namespace
+}  // namespace dynasore::core

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/utility.h"
+#include "net/topology.h"
+#include "store/store_server.h"
+
+namespace dynasore::core {
+namespace {
+
+// Paper cluster: 5 intermediates x 5 racks x 10 machines, 9 servers/rack.
+net::Topology PaperTopo() {
+  return net::Topology::MakeTree(net::TreeConfig{5, 5, 10});
+}
+
+using ScratchVec = std::vector<store::ReplicaStats::OriginReads>;
+
+// Algorithm 1, worked example: a replica on server 0 (rack 0), its reads
+// coming from its own rack (origin 0, cost 1). Fallback replica is remote.
+TEST(EstimateProfitTest, LocalReadsVsRemoteFallback) {
+  const auto topo = PaperTopo();
+  store::ReplicaStats stats(24);
+  // 10 reads from rack 0: origin index 0 from server 0's perspective.
+  stats.RecordRead(topo.OriginIndex(0, 0), 10);
+  ScratchVec scratch;
+  // nearest = server 45 (intermediate 1): cost(origin 0 -> 45) = 5.
+  const double profit = EstimateProfit(topo, false, stats, /*owner=*/0,
+                                       /*candidate=*/0, /*nearest=*/45,
+                                       /*write_rack=*/0, scratch);
+  // nearestReadCost = 10*5, serverReadCost = 10*1, writes = 0.
+  EXPECT_DOUBLE_EQ(profit, 50.0 - 10.0);
+}
+
+TEST(EstimateProfitTest, WriteCostSubtracts) {
+  const auto topo = PaperTopo();
+  store::ReplicaStats stats(24);
+  stats.RecordRead(topo.OriginIndex(0, 0), 10);
+  stats.RecordWrite(6);
+  ScratchVec scratch;
+  // Write proxy in rack 5 (intermediate 1): cost to server 0 is 5.
+  const double profit =
+      EstimateProfit(topo, false, stats, 0, 0, 45, /*write_rack=*/5, scratch);
+  EXPECT_DOUBLE_EQ(profit, 50.0 - 10.0 - 6.0 * 5.0);
+}
+
+TEST(EstimateProfitTest, NegativeWhenWritesDominate) {
+  const auto topo = PaperTopo();
+  store::ReplicaStats stats(24);
+  stats.RecordRead(topo.OriginIndex(0, 0), 1);
+  stats.RecordWrite(20);
+  ScratchVec scratch;
+  const double profit =
+      EstimateProfit(topo, false, stats, 0, 0, 45, /*write_rack=*/5, scratch);
+  EXPECT_LT(profit, 0.0);
+}
+
+TEST(EstimateProfitTest, ZeroWhenCandidateEqualsNearestCosts) {
+  const auto topo = PaperTopo();
+  store::ReplicaStats stats(24);
+  stats.RecordRead(topo.OriginIndex(0, 0), 7);
+  ScratchVec scratch;
+  // candidate == nearest: read terms cancel; only write cost remains (0).
+  const double profit = EstimateProfit(topo, false, stats, 0, 45, 45, 0,
+                                       scratch);
+  EXPECT_DOUBLE_EQ(profit, 0.0);
+}
+
+TEST(EstimateProfitTest, EvaluatesCandidateAtDifferentServer) {
+  const auto topo = PaperTopo();
+  store::ReplicaStats stats(24);
+  // Reads from sibling intermediate 1 (aggregate origin), 8 of them.
+  stats.RecordRead(topo.OriginIndex(0, /*broker_rack=*/5), 8);
+  ScratchVec scratch;
+  // Candidate inside intermediate 1 (server 45): estimated origin cost 3.
+  // Nearest stays at owner-side cost 5.
+  const double profit =
+      EstimateProfit(topo, false, stats, 0, /*candidate=*/45, /*nearest=*/0,
+                     /*write_rack=*/0, scratch);
+  // nearest: 8 * 5 (cost from intermediate-1 origin to server 0)
+  // candidate: 8 * 3; writes 0 with cost(rack0 -> 45) irrelevant (0 writes).
+  EXPECT_DOUBLE_EQ(profit, 8.0 * 5.0 - 8.0 * 3.0);
+}
+
+TEST(EstimateProfitTest, MultipleOriginsSum) {
+  const auto topo = PaperTopo();
+  store::ReplicaStats stats(24);
+  stats.RecordRead(topo.OriginIndex(0, 0), 4);   // own rack: cost 1
+  stats.RecordRead(topo.OriginIndex(0, 1), 6);   // sibling rack: cost 3
+  stats.RecordRead(topo.OriginIndex(0, 10), 2);  // intermediate 2: cost 5
+  ScratchVec scratch;
+  const double profit =
+      EstimateProfit(topo, false, stats, 0, 0, /*nearest=*/200,
+                     /*write_rack=*/0, scratch);
+  // server cost = 4*1 + 6*3 + 2*5 = 32.
+  // nearest (server 200, intermediate 4): origin rack0 -> 5, rack1 -> 5,
+  // aggregate int2 -> 5. nearest cost = (4+6+2)*5 = 60.
+  EXPECT_DOUBLE_EQ(profit, 60.0 - 32.0);
+}
+
+TEST(EstimateProfitTest, ExactOriginsUseTrueRacks) {
+  const auto topo = PaperTopo();
+  store::ReplicaStats stats(24);
+  // Exact mode: origins are global rack ids. Reads from rack 7.
+  stats.RecordRead(7, 9);
+  ScratchVec scratch;
+  // candidate = server in rack 7 => cost 1; nearest = server 0 => cost 5.
+  const ServerId in_rack7 = static_cast<ServerId>(7 * 9);
+  const double profit = EstimateProfit(topo, /*exact=*/true, stats, 0,
+                                       in_rack7, 0, /*write_rack=*/7, scratch);
+  EXPECT_DOUBLE_EQ(profit, 9.0 * 5.0 - 9.0 * 1.0 - 0.0);
+}
+
+TEST(EstimateProfitTest, FlatTopologyLocalVsRemote) {
+  const auto topo = net::Topology::MakeFlat(10);
+  store::ReplicaStats stats(24);
+  stats.RecordRead(/*origin=machine*/ 4, 5);
+  ScratchVec scratch;
+  // Candidate = machine 4 (cost 0), nearest = machine 9 (cost 1).
+  const double profit =
+      EstimateProfit(topo, false, stats, /*owner=*/2, /*candidate=*/4,
+                     /*nearest=*/9, /*write_rack=*/0, scratch);
+  EXPECT_DOUBLE_EQ(profit, 5.0 * 1.0 - 5.0 * 0.0);
+}
+
+}  // namespace
+}  // namespace dynasore::core

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/generator.h"
+#include "graph/presets.h"
+#include "graph/social_graph.h"
+
+namespace dynasore::graph {
+namespace {
+
+// ----- SocialGraph construction -----
+
+TEST(SocialGraphTest, DirectedEdgesKeepDirection) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {2, 1}};
+  const SocialGraph g = SocialGraph::FromEdges(3, edges, /*directed=*/true);
+  EXPECT_EQ(g.num_links(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+}
+
+TEST(SocialGraphTest, FollowersAreInverseOfFollowees) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {2, 1}};
+  const SocialGraph g = SocialGraph::FromEdges(3, edges, /*directed=*/true);
+  for (UserId u = 0; u < 3; ++u) {
+    for (UserId v : g.Followees(u)) {
+      const auto followers = g.Followers(v);
+      EXPECT_TRUE(std::binary_search(followers.begin(), followers.end(), u));
+    }
+  }
+}
+
+TEST(SocialGraphTest, UndirectedSymmetric) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const SocialGraph g = SocialGraph::FromEdges(3, edges, /*directed=*/false);
+  EXPECT_EQ(g.num_links(), 2u);
+  EXPECT_EQ(g.OutDegree(1), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  // followees == followers for undirected graphs.
+  for (UserId u = 0; u < 3; ++u) {
+    const auto out = g.Followees(u);
+    const auto in = g.Followers(u);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), in.begin(), in.end()));
+  }
+}
+
+TEST(SocialGraphTest, SelfLoopsDropped) {
+  const std::vector<Edge> edges{{0, 0}, {0, 1}};
+  const SocialGraph g = SocialGraph::FromEdges(2, edges, /*directed=*/true);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(SocialGraphTest, DuplicateEdgesDeduplicated) {
+  const std::vector<Edge> edges{{0, 1}, {0, 1}, {0, 1}};
+  const SocialGraph g = SocialGraph::FromEdges(2, edges, /*directed=*/true);
+  EXPECT_EQ(g.num_links(), 1u);
+}
+
+TEST(SocialGraphTest, AdjacencyIsSorted) {
+  const std::vector<Edge> edges{{0, 3}, {0, 1}, {0, 2}};
+  const SocialGraph g = SocialGraph::FromEdges(4, edges, /*directed=*/true);
+  const auto f = g.Followees(0);
+  EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+}
+
+TEST(SocialGraphTest, AsUndirectedSymmetrizes) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {2, 0}};
+  const SocialGraph g = SocialGraph::FromEdges(3, edges, /*directed=*/true);
+  const SocialGraph u = g.AsUndirected();
+  EXPECT_FALSE(u.directed());
+  EXPECT_EQ(u.num_links(), 2u);  // {0,1} and {0,2}
+  EXPECT_EQ(u.OutDegree(0), 2u);
+}
+
+TEST(SocialGraphTest, EmptyUserHasNoNeighbors) {
+  const std::vector<Edge> edges{{0, 1}};
+  const SocialGraph g = SocialGraph::FromEdges(3, edges, /*directed=*/true);
+  EXPECT_TRUE(g.Followees(2).empty());
+  EXPECT_TRUE(g.Followers(2).empty());
+}
+
+// ----- Generator properties -----
+
+GraphGenConfig SmallConfig(bool directed, std::uint64_t seed) {
+  GraphGenConfig config;
+  config.num_users = 4000;
+  config.links_per_user = 8.0;
+  config.directed = directed;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const SocialGraph a = GenerateCommunityGraph(SmallConfig(false, 7));
+  const SocialGraph b = GenerateCommunityGraph(SmallConfig(false, 7));
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    const auto fa = a.Followees(u);
+    const auto fb = b.Followees(u);
+    ASSERT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin(), fb.end()));
+  }
+}
+
+TEST(GeneratorTest, SeedsProduceDifferentGraphs) {
+  const SocialGraph a = GenerateCommunityGraph(SmallConfig(false, 1));
+  const SocialGraph b = GenerateCommunityGraph(SmallConfig(false, 2));
+  bool any_difference = a.num_links() != b.num_links();
+  for (UserId u = 0; u < a.num_users() && !any_difference; ++u) {
+    const auto fa = a.Followees(u);
+    const auto fb = b.Followees(u);
+    any_difference = !std::equal(fa.begin(), fa.end(), fb.begin(), fb.end());
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, HitsTargetLinkCountApproximately) {
+  const GraphGenConfig config = SmallConfig(false, 3);
+  const SocialGraph g = GenerateCommunityGraph(config);
+  const double target = config.links_per_user * config.num_users;
+  EXPECT_GT(static_cast<double>(g.num_links()), 0.75 * target);
+  EXPECT_LT(static_cast<double>(g.num_links()), 1.1 * target);
+}
+
+TEST(GeneratorTest, DegreeDistributionIsHeavyTailed) {
+  const SocialGraph g = GenerateCommunityGraph(SmallConfig(false, 5));
+  std::vector<std::uint32_t> degrees(g.num_users());
+  for (UserId u = 0; u < g.num_users(); ++u) degrees[u] = g.OutDegree(u);
+  std::sort(degrees.begin(), degrees.end());
+  const std::uint32_t median = degrees[degrees.size() / 2];
+  const std::uint32_t p999 = degrees[degrees.size() * 999 / 1000];
+  // Heavy tail: the 99.9th percentile dwarfs the median.
+  EXPECT_GE(p999, median * 5);
+}
+
+TEST(GeneratorTest, DirectedGraphHasAsymmetricEdges) {
+  const SocialGraph g = GenerateCommunityGraph(SmallConfig(true, 11));
+  EXPECT_TRUE(g.directed());
+  std::uint64_t asymmetric = 0;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    for (UserId v : g.Followees(u)) {
+      const auto back = g.Followees(v);
+      if (!std::binary_search(back.begin(), back.end(), u)) ++asymmetric;
+    }
+  }
+  EXPECT_GT(asymmetric, 0u);
+}
+
+TEST(GeneratorTest, NoSelfLoops) {
+  const SocialGraph g = GenerateCommunityGraph(SmallConfig(false, 13));
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    const auto f = g.Followees(u);
+    EXPECT_FALSE(std::binary_search(f.begin(), f.end(), u));
+  }
+}
+
+// Community structure is what METIS exploits: with low mixing, a user's
+// neighbors should be far more concentrated than under a random graph.
+TEST(GeneratorTest, CommunityStructureExists) {
+  GraphGenConfig config = SmallConfig(false, 17);
+  config.mixing = 0.05;
+  const SocialGraph g = GenerateCommunityGraph(config);
+  // Count triangles-ish proxy: fraction of a node's neighbors that are
+  // themselves connected (sampled clustering coefficient).
+  double clustering_sum = 0;
+  int sampled = 0;
+  for (UserId u = 0; u < g.num_users(); u += 37) {
+    const auto nbrs = g.Followees(u);
+    if (nbrs.size() < 2) continue;
+    int closed = 0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < nbrs.size() && i < 10; ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size() && j < 10; ++j) {
+        ++pairs;
+        const auto f = g.Followees(nbrs[i]);
+        if (std::binary_search(f.begin(), f.end(), nbrs[j])) ++closed;
+      }
+    }
+    if (pairs > 0) {
+      clustering_sum += static_cast<double>(closed) / pairs;
+      ++sampled;
+    }
+  }
+  ASSERT_GT(sampled, 0);
+  const double avg_clustering = clustering_sum / sampled;
+  // A G(n, p) random graph with the same density would have clustering
+  // around links_per_user/num_users = 0.002; communities push it way up.
+  EXPECT_GT(avg_clustering, 0.02);
+}
+
+// ----- Presets (Table 1) -----
+
+TEST(PresetTest, Table1RatiosPreserved) {
+  const auto twitter = MakeDatasetSpec(Dataset::kTwitter, 0.01, 1);
+  EXPECT_EQ(twitter.config.num_users, 17000u);
+  EXPECT_TRUE(twitter.config.directed);
+  EXPECT_NEAR(twitter.config.links_per_user, 5.0 / 1.7, 1e-9);
+
+  const auto facebook = MakeDatasetSpec(Dataset::kFacebook, 0.01, 1);
+  EXPECT_EQ(facebook.config.num_users, 30000u);
+  EXPECT_FALSE(facebook.config.directed);
+  EXPECT_NEAR(facebook.config.links_per_user, 47.0 / 3.0, 1e-9);
+
+  const auto lj = MakeDatasetSpec(Dataset::kLiveJournal, 0.01, 1);
+  EXPECT_EQ(lj.config.num_users, 48000u);
+  EXPECT_NEAR(lj.config.links_per_user, 69.0 / 4.8, 1e-9);
+}
+
+TEST(PresetTest, ParseRoundTrip) {
+  for (Dataset d :
+       {Dataset::kTwitter, Dataset::kFacebook, Dataset::kLiveJournal}) {
+    EXPECT_EQ(ParseDataset(DatasetName(d)), d);
+  }
+}
+
+TEST(PresetTest, TinyScaleClampsToMinimumUsers) {
+  const auto spec = MakeDatasetSpec(Dataset::kTwitter, 1e-9, 1);
+  EXPECT_GE(spec.config.num_users, 64u);
+}
+
+class PresetGenerationTest : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(PresetGenerationTest, GeneratesGraphNearTable1Shape) {
+  const auto spec = MakeDatasetSpec(GetParam(), 0.002, 42);
+  const SocialGraph g = GenerateDataset(GetParam(), 0.002, 42);
+  EXPECT_EQ(g.num_users(), spec.config.num_users);
+  EXPECT_EQ(g.directed(), spec.config.directed);
+  const double target_links = spec.config.links_per_user * g.num_users();
+  EXPECT_GT(static_cast<double>(g.num_links()), 0.6 * target_links);
+  EXPECT_LT(static_cast<double>(g.num_links()), 1.2 * target_links);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, PresetGenerationTest,
+                         ::testing::Values(Dataset::kTwitter,
+                                           Dataset::kFacebook,
+                                           Dataset::kLiveJournal));
+
+}  // namespace
+}  // namespace dynasore::graph

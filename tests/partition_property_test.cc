@@ -1,0 +1,160 @@
+// Property sweeps over the partitioner and the placements built on it:
+// balance, coverage, determinism and quality orderings across graph shapes,
+// sizes and seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "graph/generator.h"
+#include "graph/presets.h"
+#include "net/topology.h"
+#include "partition/partitioner.h"
+#include "placement/placement.h"
+
+namespace dynasore::part {
+namespace {
+
+using graph::GraphGenConfig;
+using graph::SocialGraph;
+
+class GraphShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool, double>> {};
+
+TEST_P(GraphShapeSweep, PartitionerHandlesShape) {
+  const auto [seed, directed, mixing] = GetParam();
+  GraphGenConfig gen;
+  gen.num_users = 1500;
+  gen.links_per_user = directed ? 3.0 : 10.0;
+  gen.directed = directed;
+  gen.mixing = mixing;
+  gen.seed = static_cast<std::uint64_t>(seed);
+  const SocialGraph g = GenerateCommunityGraph(gen);
+
+  PartitionConfig config;
+  config.num_parts = 12;
+  config.seed = static_cast<std::uint64_t>(seed) + 1;
+  const auto parts = PartitionGraph(g, config);
+  ASSERT_EQ(parts.size(), g.num_users());
+  std::vector<std::uint32_t> sizes(12, 0);
+  for (std::uint32_t p : parts) {
+    ASSERT_LT(p, 12u);
+    ++sizes[p];
+  }
+  const double perfect = g.num_users() / 12.0;
+  for (std::uint32_t size : sizes) {
+    EXPECT_GT(size, 0u);
+    EXPECT_LT(size, perfect * 1.35 + 2);
+  }
+  // Sanity: on clustered graphs the cut beats a modulo assignment.
+  if (mixing <= 0.1) {
+    std::vector<std::uint32_t> modulo(g.num_users());
+    for (UserId u = 0; u < g.num_users(); ++u) modulo[u] = u % 12;
+    EXPECT_LT(ComputeEdgeCut(g, parts), ComputeEdgeCut(g, modulo));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GraphShapeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Bool(),
+                       ::testing::Values(0.05, 0.25)));
+
+class HierarchicalShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(HierarchicalShapeSweep, LeavesBalancedForAnyFanout) {
+  const auto [f0, f1] = GetParam();
+  GraphGenConfig gen;
+  gen.num_users = 2000;
+  gen.links_per_user = 8;
+  gen.seed = f0 * 31 + f1;
+  const SocialGraph g = GenerateCommunityGraph(gen);
+  const std::array<std::uint32_t, 2> fanouts{f0, f1};
+  const auto leaves = HierarchicalPartition(g, fanouts, 1.12, 7);
+  const std::uint32_t num_leaves = f0 * f1;
+  std::vector<std::uint32_t> sizes(num_leaves, 0);
+  for (std::uint32_t leaf : leaves) {
+    ASSERT_LT(leaf, num_leaves);
+    ++sizes[leaf];
+  }
+  const double perfect = 2000.0 / num_leaves;
+  for (std::uint32_t size : sizes) {
+    EXPECT_GT(size, 0u);
+    EXPECT_LT(size, perfect * 1.6 + 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, HierarchicalShapeSweep,
+                         ::testing::Values(std::tuple{2u, 3u},
+                                           std::tuple{5u, 5u},
+                                           std::tuple{4u, 2u},
+                                           std::tuple{3u, 9u}));
+
+// The quality ordering the experiments rest on: random cut >= METIS cut >=
+// hierarchical top-level cut (within tolerance), across datasets.
+class CutOrderingSweep : public ::testing::TestWithParam<graph::Dataset> {};
+
+TEST_P(CutOrderingSweep, OrderingHoldsPerDataset) {
+  const SocialGraph g = GenerateDataset(GetParam(), 0.001, 99);
+  const auto topo = net::Topology::MakeTree(net::TreeConfig{5, 5, 10});
+
+  PartitionConfig config;
+  config.num_parts = topo.num_servers();
+  config.seed = 5;
+  const auto metis = PartitionGraph(g, config);
+
+  std::vector<std::uint32_t> random_parts(g.num_users());
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    random_parts[u] = u % topo.num_servers();
+  }
+  EXPECT_LT(ComputeEdgeCut(g, metis), ComputeEdgeCut(g, random_parts));
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, CutOrderingSweep,
+                         ::testing::Values(graph::Dataset::kTwitter,
+                                           graph::Dataset::kFacebook,
+                                           graph::Dataset::kLiveJournal));
+
+// Placement-level sweep: every strategy, every dataset, tight memory.
+class PlacementMatrixSweep
+    : public ::testing::TestWithParam<std::tuple<graph::Dataset, double>> {};
+
+TEST_P(PlacementMatrixSweep, EveryStrategyProducesValidPlacement) {
+  const auto [dataset, extra] = GetParam();
+  const SocialGraph g = GenerateDataset(dataset, 0.0008, 42);
+  const auto topo = net::Topology::MakeTree(net::TreeConfig{5, 5, 10});
+  const auto capacity = static_cast<std::uint32_t>(
+      std::ceil((1.0 + extra) * g.num_users() / topo.num_servers()));
+
+  const place::PlacementResult placements[] = {
+      place::RandomPlacement(g.num_users(), topo, capacity, 1),
+      place::PartitionPlacement(g, topo, capacity, 1, false),
+      place::PartitionPlacement(g, topo, capacity, 1, true),
+      place::SparPlacement(g, topo, capacity, place::SparConfig{}),
+  };
+  for (const auto& placement : placements) {
+    ASSERT_EQ(placement.replicas.size(), g.num_users());
+    const auto loads = placement.ServerLoads(topo.num_servers());
+    for (std::uint32_t load : loads) ASSERT_LE(load, capacity);
+    for (ViewId v = 0; v < g.num_users(); ++v) {
+      ASSERT_FALSE(placement.replicas[v].empty());
+      ASSERT_TRUE(std::binary_search(placement.replicas[v].begin(),
+                                     placement.replicas[v].end(),
+                                     placement.master[v]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PlacementMatrixSweep,
+    ::testing::Combine(::testing::Values(graph::Dataset::kTwitter,
+                                         graph::Dataset::kFacebook,
+                                         graph::Dataset::kLiveJournal),
+                       ::testing::Values(0.0, 0.5)));
+
+}  // namespace
+}  // namespace dynasore::part

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/presets.h"
+#include "partition/partitioner.h"
+
+namespace dynasore::part {
+namespace {
+
+using graph::Edge;
+using graph::SocialGraph;
+
+SocialGraph CommunityGraph(std::uint64_t seed, std::uint32_t users = 3000) {
+  graph::GraphGenConfig config;
+  config.num_users = users;
+  config.links_per_user = 10.0;
+  config.mixing = 0.05;
+  config.seed = seed;
+  return GenerateCommunityGraph(config);
+}
+
+std::vector<std::uint32_t> PartSizes(std::span<const std::uint32_t> parts,
+                                     std::uint32_t k) {
+  std::vector<std::uint32_t> sizes(k, 0);
+  for (std::uint32_t p : parts) {
+    EXPECT_LT(p, k);
+    ++sizes[p];
+  }
+  return sizes;
+}
+
+TEST(PartitionTest, SinglePartIsTrivial) {
+  const SocialGraph g = CommunityGraph(1, 500);
+  PartitionConfig config;
+  config.num_parts = 1;
+  const auto parts = PartitionGraph(g, config);
+  for (std::uint32_t p : parts) EXPECT_EQ(p, 0u);
+  EXPECT_EQ(ComputeEdgeCut(g, parts), 0u);
+}
+
+TEST(PartitionTest, AllPartsNonEmptyAndBalanced) {
+  const SocialGraph g = CommunityGraph(2);
+  PartitionConfig config;
+  config.num_parts = 8;
+  config.imbalance = 1.05;
+  const auto parts = PartitionGraph(g, config);
+  const auto sizes = PartSizes(parts, 8);
+  const double perfect = static_cast<double>(g.num_users()) / 8;
+  for (std::uint32_t size : sizes) {
+    EXPECT_GT(size, 0u);
+    EXPECT_LT(size, perfect * 1.15);
+  }
+}
+
+TEST(PartitionTest, DeterministicForSeed) {
+  const SocialGraph g = CommunityGraph(3, 1000);
+  PartitionConfig config;
+  config.num_parts = 4;
+  config.seed = 99;
+  EXPECT_EQ(PartitionGraph(g, config), PartitionGraph(g, config));
+}
+
+TEST(PartitionTest, BeatsRandomAssignmentOnCut) {
+  const SocialGraph g = CommunityGraph(4);
+  PartitionConfig config;
+  config.num_parts = 16;
+  const auto parts = PartitionGraph(g, config);
+  // Random 16-way assignment cuts ~15/16 of edges.
+  std::vector<std::uint32_t> random_parts(g.num_users());
+  for (UserId u = 0; u < g.num_users(); ++u) random_parts[u] = u % 16;
+  const std::uint64_t cut = ComputeEdgeCut(g, parts);
+  const std::uint64_t random_cut = ComputeEdgeCut(g, random_parts);
+  // On a community graph a real partitioner should do far better: require
+  // at least a 2.5x improvement (METIS-grade tools reach more; we only need
+  // the orderings in the paper's experiments to hold).
+  EXPECT_LT(cut * 5, random_cut * 2);
+}
+
+TEST(PartitionTest, NonPowerOfTwoParts) {
+  const SocialGraph g = CommunityGraph(5, 2000);
+  PartitionConfig config;
+  config.num_parts = 7;
+  const auto parts = PartitionGraph(g, config);
+  const auto sizes = PartSizes(parts, 7);
+  for (std::uint32_t size : sizes) {
+    EXPECT_GT(size, 0u);
+    EXPECT_LT(size, 2000.0 / 7 * 1.2);
+  }
+}
+
+TEST(PartitionTest, DirectedGraphIsSymmetrizedInternally) {
+  const SocialGraph g =
+      GenerateDataset(graph::Dataset::kTwitter, 0.001, 7);
+  ASSERT_TRUE(g.directed());
+  PartitionConfig config;
+  config.num_parts = 5;
+  const auto parts = PartitionGraph(g, config);
+  EXPECT_EQ(parts.size(), g.num_users());
+  const auto sizes = PartSizes(parts, 5);
+  for (std::uint32_t size : sizes) EXPECT_GT(size, 0u);
+}
+
+TEST(PartitionTest, TinyGraphMorePartsThanVertices) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const SocialGraph g = SocialGraph::FromEdges(3, edges, false);
+  PartitionConfig config;
+  config.num_parts = 3;
+  const auto parts = PartitionGraph(g, config);
+  // Each vertex in its own part is acceptable; ids must stay in range.
+  for (std::uint32_t p : parts) EXPECT_LT(p, 3u);
+}
+
+TEST(PartitionTest, DisconnectedGraphStillBalances) {
+  // Two cliques with no edges between them plus isolated vertices.
+  std::vector<Edge> edges;
+  for (UserId u = 0; u < 50; ++u) {
+    for (UserId v = u + 1; v < 50; ++v) edges.push_back({u, v});
+  }
+  for (UserId u = 50; u < 100; ++u) {
+    for (UserId v = u + 1; v < 100; ++v) edges.push_back({u, v});
+  }
+  const SocialGraph g = SocialGraph::FromEdges(120, edges, false);
+  PartitionConfig config;
+  config.num_parts = 2;
+  const auto parts = PartitionGraph(g, config);
+  const auto sizes = PartSizes(parts, 2);
+  EXPECT_GT(sizes[0], 40u);
+  EXPECT_GT(sizes[1], 40u);
+  // The obvious bisection keeps each clique whole.
+  EXPECT_LT(ComputeEdgeCut(g, parts), 100u);
+}
+
+TEST(ComputeEdgeCutTest, CountsCrossingLinksOnce) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const SocialGraph g = SocialGraph::FromEdges(4, edges, false);
+  const std::vector<std::uint32_t> parts{0, 0, 1, 1};
+  EXPECT_EQ(ComputeEdgeCut(g, parts), 1u);  // only {1,2} crosses
+}
+
+// ----- Hierarchical partitioning -----
+
+TEST(HierarchicalTest, LeafIdsEnumerateDepthFirst) {
+  const SocialGraph g = CommunityGraph(8, 2000);
+  const std::array<std::uint32_t, 2> fanouts{3, 4};
+  const auto leaves = HierarchicalPartition(g, fanouts, 1.10, 5);
+  std::vector<std::uint32_t> sizes(12, 0);
+  for (std::uint32_t leaf : leaves) {
+    ASSERT_LT(leaf, 12u);
+    ++sizes[leaf];
+  }
+  for (std::uint32_t size : sizes) EXPECT_GT(size, 0u);
+}
+
+TEST(HierarchicalTest, PaperShapeBalanced) {
+  const SocialGraph g = CommunityGraph(9, 4000);
+  const std::array<std::uint32_t, 3> fanouts{5, 5, 9};  // 225 servers
+  const auto leaves = HierarchicalPartition(g, fanouts, 1.10, 3);
+  std::vector<std::uint32_t> sizes(225, 0);
+  for (std::uint32_t leaf : leaves) {
+    ASSERT_LT(leaf, 225u);
+    ++sizes[leaf];
+  }
+  const double perfect = 4000.0 / 225.0;
+  std::uint32_t max_size = 0;
+  for (std::uint32_t size : sizes) max_size = std::max(max_size, size);
+  EXPECT_LT(max_size, perfect * 1.6 + 3);
+}
+
+TEST(HierarchicalTest, TopLevelCutNoWorseThanFlatAtTopGranularity) {
+  // The hierarchical scheme's first level should produce a good m-way cut,
+  // comparable to partitioning directly into m parts.
+  const SocialGraph g = CommunityGraph(10);
+  const std::array<std::uint32_t, 2> fanouts{5, 5};
+  const auto leaves = HierarchicalPartition(g, fanouts, 1.10, 11);
+  std::vector<std::uint32_t> top_level(g.num_users());
+  for (UserId u = 0; u < g.num_users(); ++u) top_level[u] = leaves[u] / 5;
+
+  PartitionConfig config;
+  config.num_parts = 5;
+  config.seed = 11;
+  const auto direct = PartitionGraph(g, config);
+  const std::uint64_t hier_cut = ComputeEdgeCut(g, top_level);
+  const std::uint64_t direct_cut = ComputeEdgeCut(g, direct);
+  EXPECT_LT(static_cast<double>(hier_cut),
+            static_cast<double>(direct_cut) * 1.5 + 100);
+}
+
+// Property sweep over part counts: valid ids, non-empty parts, reasonable
+// balance.
+class PartitionSweepTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PartitionSweepTest, BalanceAndCoverage) {
+  const std::uint32_t k = GetParam();
+  const SocialGraph g = CommunityGraph(20 + k, 2200);
+  PartitionConfig config;
+  config.num_parts = k;
+  config.seed = k;
+  const auto parts = PartitionGraph(g, config);
+  const auto sizes = PartSizes(parts, k);
+  const double perfect = 2200.0 / k;
+  for (std::uint32_t size : sizes) {
+    EXPECT_GT(size, 0u);
+    EXPECT_LE(size, perfect * 1.30 + 2) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionSweepTest,
+                         ::testing::Values(2u, 3u, 5u, 9u, 16u, 25u, 50u));
+
+}  // namespace
+}  // namespace dynasore::part

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "persist/persistent_store.h"
+
+namespace dynasore::persist {
+namespace {
+
+std::string TempWalPath(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("dynasore_wal_" + tag + ".log"))
+      .string();
+}
+
+struct WalCleanup {
+  explicit WalCleanup(std::string path) : path(std::move(path)) {
+    std::remove(this->path.c_str());
+  }
+  ~WalCleanup() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(PersistentStoreTest, AppendAndFetch) {
+  PersistentStore store;
+  store.Append({1, 100, "hello"});
+  store.Append({1, 200, "world"});
+  const auto view = store.FetchView(1);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].payload, "hello");
+  EXPECT_EQ(view[1].payload, "world");
+  EXPECT_EQ(store.num_events(), 2u);
+}
+
+TEST(PersistentStoreTest, UnknownUserIsEmpty) {
+  PersistentStore store;
+  EXPECT_TRUE(store.FetchView(42).empty());
+}
+
+TEST(PersistentStoreTest, ViewsAreBounded) {
+  PersistentStore store(std::nullopt, /*max_events_per_view=*/4);
+  for (SimTime t = 0; t < 10; ++t) store.Append({7, t, "e"});
+  const auto view = store.FetchView(7);
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view.front().time, 6u);  // oldest kept
+  EXPECT_EQ(view.back().time, 9u);
+}
+
+TEST(PersistentStoreTest, WalRecoveryRestoresState) {
+  const WalCleanup wal(TempWalPath("recovery"));
+  {
+    PersistentStore store(wal.path);
+    store.Append({1, 10, "first post"});
+    store.Append({2, 20, "second user"});
+    store.Append({1, 30, "follow up"});
+  }
+  const PersistentStore recovered = PersistentStore::Recover(wal.path);
+  EXPECT_EQ(recovered.num_events(), 3u);
+  const auto view = recovered.FetchView(1);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].payload, "first post");
+  EXPECT_EQ(view[1].payload, "follow up");
+  EXPECT_EQ(view[1].time, 30u);
+  EXPECT_EQ(recovered.FetchView(2).size(), 1u);
+}
+
+TEST(PersistentStoreTest, RecoveredStoreKeepsLogging) {
+  const WalCleanup wal(TempWalPath("continue"));
+  {
+    PersistentStore store(wal.path);
+    store.Append({1, 10, "a"});
+  }
+  {
+    PersistentStore recovered = PersistentStore::Recover(wal.path);
+    recovered.Append({1, 20, "b"});
+  }
+  const PersistentStore again = PersistentStore::Recover(wal.path);
+  EXPECT_EQ(again.FetchView(1).size(), 2u);
+}
+
+TEST(PersistentStoreTest, EmptyPayloadSurvivesRoundTrip) {
+  const WalCleanup wal(TempWalPath("empty"));
+  {
+    PersistentStore store(wal.path);
+    store.Append({3, 5, ""});
+  }
+  const PersistentStore recovered = PersistentStore::Recover(wal.path);
+  ASSERT_EQ(recovered.FetchView(3).size(), 1u);
+  EXPECT_EQ(recovered.FetchView(3)[0].payload, "");
+}
+
+TEST(PersistentStoreTest, PayloadWithSpacesSurvives) {
+  const WalCleanup wal(TempWalPath("spaces"));
+  {
+    PersistentStore store(wal.path);
+    store.Append({3, 5, "a b  c"});
+  }
+  const PersistentStore recovered = PersistentStore::Recover(wal.path);
+  ASSERT_EQ(recovered.FetchView(3).size(), 1u);
+  EXPECT_EQ(recovered.FetchView(3)[0].payload, "a b  c");
+}
+
+TEST(PersistentStoreTest, MoveTransfersOwnership) {
+  PersistentStore a;
+  a.Append({1, 1, "x"});
+  PersistentStore b = std::move(a);
+  EXPECT_EQ(b.FetchView(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dynasore::persist

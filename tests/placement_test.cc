@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/generator.h"
+#include "net/topology.h"
+#include "placement/placement.h"
+
+namespace dynasore::place {
+namespace {
+
+net::Topology PaperTopo() {
+  return net::Topology::MakeTree(net::TreeConfig{5, 5, 10});
+}
+
+graph::SocialGraph TestGraph(std::uint64_t seed = 1,
+                             std::uint32_t users = 3000) {
+  graph::GraphGenConfig config;
+  config.num_users = users;
+  config.links_per_user = 10.0;
+  config.seed = seed;
+  return GenerateCommunityGraph(config);
+}
+
+void CheckBasicInvariants(const PlacementResult& result,
+                          const net::Topology& topo, std::uint32_t num_views,
+                          std::uint32_t capacity) {
+  ASSERT_EQ(result.replicas.size(), num_views);
+  ASSERT_EQ(result.master.size(), num_views);
+  for (ViewId v = 0; v < num_views; ++v) {
+    ASSERT_FALSE(result.replicas[v].empty()) << "view " << v << " unplaced";
+    ASSERT_TRUE(std::is_sorted(result.replicas[v].begin(),
+                               result.replicas[v].end()));
+    ASSERT_TRUE(std::binary_search(result.replicas[v].begin(),
+                                   result.replicas[v].end(),
+                                   result.master[v]))
+        << "master not among replicas";
+    for (ServerId s : result.replicas[v]) ASSERT_LT(s, topo.num_servers());
+  }
+  const auto loads = result.ServerLoads(topo.num_servers());
+  for (ServerId s = 0; s < topo.num_servers(); ++s) {
+    ASSERT_LE(loads[s], capacity) << "server " << s << " over capacity";
+  }
+}
+
+// ----- Random placement -----
+
+TEST(RandomPlacementTest, InvariantsAndSingleReplica) {
+  const auto topo = PaperTopo();
+  const std::uint32_t capacity = 20;
+  const PlacementResult result = RandomPlacement(4000, topo, capacity, 1);
+  CheckBasicInvariants(result, topo, 4000, capacity);
+  EXPECT_EQ(result.TotalReplicas(), 4000u);
+}
+
+TEST(RandomPlacementTest, SpreadsAcrossAllServers) {
+  const auto topo = PaperTopo();
+  const PlacementResult result = RandomPlacement(9000, topo, 80, 2);
+  const auto loads = result.ServerLoads(topo.num_servers());
+  int empty = 0;
+  for (std::uint32_t load : loads) empty += load == 0;
+  EXPECT_EQ(empty, 0);
+}
+
+TEST(RandomPlacementTest, RespectsTightCapacity) {
+  const auto topo = PaperTopo();
+  // 225 servers x 18 views = 4050 capacity for 4000 views: nearly full.
+  const PlacementResult result = RandomPlacement(4000, topo, 18, 3);
+  CheckBasicInvariants(result, topo, 4000, 18);
+}
+
+TEST(RandomPlacementTest, DeterministicForSeed) {
+  const auto topo = PaperTopo();
+  const PlacementResult a = RandomPlacement(1000, topo, 10, 7);
+  const PlacementResult b = RandomPlacement(1000, topo, 10, 7);
+  EXPECT_EQ(a.master, b.master);
+}
+
+// ----- Partition placements -----
+
+TEST(PartitionPlacementTest, MetisInvariants) {
+  const auto topo = PaperTopo();
+  const auto g = TestGraph();
+  const std::uint32_t capacity = 20;
+  const PlacementResult result =
+      PartitionPlacement(g, topo, capacity, 5, /*hierarchical=*/false);
+  CheckBasicInvariants(result, topo, g.num_users(), capacity);
+  EXPECT_EQ(result.TotalReplicas(), g.num_users());
+}
+
+TEST(PartitionPlacementTest, HierarchicalInvariants) {
+  const auto topo = PaperTopo();
+  const auto g = TestGraph();
+  const std::uint32_t capacity = 20;
+  const PlacementResult result =
+      PartitionPlacement(g, topo, capacity, 5, /*hierarchical=*/true);
+  CheckBasicInvariants(result, topo, g.num_users(), capacity);
+}
+
+// The core claim of hMETIS (§4.4): when two friends are split across
+// servers, hierarchical partitioning keeps them under the same intermediate
+// switch far more often than plain METIS with random part-to-server mapping.
+TEST(PartitionPlacementTest, HierarchicalKeepsFriendsUnderSameIntermediate) {
+  const auto topo = PaperTopo();
+  const auto g = TestGraph(9, 4000);
+  const std::uint32_t capacity = 40;
+  const PlacementResult metis =
+      PartitionPlacement(g, topo, capacity, 5, /*hierarchical=*/false);
+  const PlacementResult hmetis =
+      PartitionPlacement(g, topo, capacity, 5, /*hierarchical=*/true);
+
+  auto cross_intermediate_links = [&](const PlacementResult& placement) {
+    std::uint64_t crossing = 0;
+    for (UserId u = 0; u < g.num_users(); ++u) {
+      for (UserId v : g.Followees(u)) {
+        if (u >= v) continue;
+        const auto iu = topo.intermediate_of_server(placement.master[u]);
+        const auto iv = topo.intermediate_of_server(placement.master[v]);
+        crossing += iu != iv;
+      }
+    }
+    return crossing;
+  };
+  EXPECT_LT(cross_intermediate_links(hmetis),
+            cross_intermediate_links(metis));
+}
+
+TEST(PartitionPlacementTest, MetisCoLocatesMoreFriendsThanRandom) {
+  const auto topo = PaperTopo();
+  const auto g = TestGraph(11);
+  const std::uint32_t capacity = 20;
+  const PlacementResult metis =
+      PartitionPlacement(g, topo, capacity, 5, false);
+  const PlacementResult random =
+      RandomPlacement(g.num_users(), topo, capacity, 5);
+
+  auto same_server_links = [&](const PlacementResult& placement) {
+    std::uint64_t same = 0;
+    for (UserId u = 0; u < g.num_users(); ++u) {
+      for (UserId v : g.Followees(u)) {
+        if (u < v && placement.master[u] == placement.master[v]) ++same;
+      }
+    }
+    return same;
+  };
+  EXPECT_GT(same_server_links(metis), 2 * same_server_links(random));
+}
+
+TEST(PartitionPlacementTest, SpillKeepsCapacityWhenTight) {
+  const auto topo = PaperTopo();
+  const auto g = TestGraph(13, 2250);
+  // Exactly 10 views per server: any partition imbalance must spill.
+  const PlacementResult result = PartitionPlacement(g, topo, 10, 5, true);
+  CheckBasicInvariants(result, topo, g.num_users(), 10);
+}
+
+// Property sweep across capacities for all three static strategies.
+class StaticPlacementSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StaticPlacementSweep, AllStrategiesRespectCapacity) {
+  const double extra = GetParam();
+  const auto topo = PaperTopo();
+  const auto g = TestGraph(17, 2000);
+  const auto capacity = static_cast<std::uint32_t>(
+      std::ceil((1.0 + extra) * g.num_users() / topo.num_servers()));
+  CheckBasicInvariants(RandomPlacement(g.num_users(), topo, capacity, 3),
+                       topo, g.num_users(), capacity);
+  CheckBasicInvariants(PartitionPlacement(g, topo, capacity, 3, false), topo,
+                       g.num_users(), capacity);
+  CheckBasicInvariants(PartitionPlacement(g, topo, capacity, 3, true), topo,
+                       g.num_users(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, StaticPlacementSweep,
+                         ::testing::Values(0.0, 0.3, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace dynasore::place

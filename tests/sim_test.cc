@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generator.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+namespace dynasore::sim {
+namespace {
+
+graph::SocialGraph TestGraph(std::uint64_t seed = 1,
+                             std::uint32_t users = 1500) {
+  graph::GraphGenConfig config;
+  config.num_users = users;
+  config.links_per_user = 8.0;
+  config.seed = seed;
+  return GenerateCommunityGraph(config);
+}
+
+wl::RequestLog ShortLog(const graph::SocialGraph& g, double days = 1.0) {
+  wl::SyntheticLogConfig config;
+  config.days = days;
+  config.seed = 3;
+  return GenerateSyntheticLog(g, config);
+}
+
+TEST(ExperimentBuilderTest, TopologyDispatch) {
+  ClusterConfig tree;
+  EXPECT_FALSE(MakeTopology(tree).is_flat());
+  EXPECT_EQ(MakeTopology(tree).num_servers(), 225);
+  ClusterConfig flat;
+  flat.flat = true;
+  EXPECT_TRUE(MakeTopology(flat).is_flat());
+  EXPECT_EQ(MakeTopology(flat).num_servers(), 250);
+}
+
+TEST(ExperimentBuilderTest, CapacityFormula) {
+  // 0% extra: exactly ceil(V/S).
+  EXPECT_EQ(CapacityPerServer(2250, 225, 0.0), 10u);
+  // +100%: double.
+  EXPECT_EQ(CapacityPerServer(2250, 225, 100.0), 20u);
+  // +30% rounds up.
+  EXPECT_EQ(CapacityPerServer(2250, 225, 30.0), 13u);
+}
+
+TEST(ExperimentBuilderTest, PolicyNames) {
+  EXPECT_STREQ(PolicyName(Policy::kRandom), "random");
+  EXPECT_STREQ(PolicyName(Policy::kDynaSoRe), "dynasore");
+  EXPECT_STREQ(InitName(Init::kHMetis), "hmetis");
+}
+
+TEST(SimulatorTest, StaticPoliciesKeepOneReplicaPerView) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 0.5);
+  for (Policy policy : {Policy::kRandom, Policy::kMetis, Policy::kHMetis}) {
+    ExperimentConfig config;
+    config.policy = policy;
+    config.extra_memory_pct = 50;
+    const SimResult result = RunExperiment(g, log, config);
+    EXPECT_DOUBLE_EQ(result.avg_replicas, 1.0) << PolicyName(policy);
+    EXPECT_EQ(result.memory_used, g.num_users());
+    EXPECT_EQ(result.counters.replicas_created, 0u);
+  }
+}
+
+TEST(SimulatorTest, RequestCountsFlowThrough) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 0.5);
+  ExperimentConfig config;
+  config.policy = Policy::kRandom;
+  const SimResult result = RunExperiment(g, log, config);
+  EXPECT_EQ(result.counters.reads, log.num_reads);
+  EXPECT_EQ(result.counters.writes, log.num_writes);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 0.5);
+  ExperimentConfig config;
+  config.policy = Policy::kDynaSoRe;
+  config.init = Init::kRandom;
+  config.extra_memory_pct = 50;
+  const SimResult a = RunExperiment(g, log, config);
+  const SimResult b = RunExperiment(g, log, config);
+  EXPECT_EQ(a.window[0].app, b.window[0].app);
+  EXPECT_EQ(a.counters.replicas_created, b.counters.replicas_created);
+  EXPECT_EQ(a.memory_used, b.memory_used);
+}
+
+TEST(SimulatorTest, MeasurementWindowSubsetsFullRun) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 1.0);
+  ExperimentConfig config;
+  config.policy = Policy::kRandom;
+  RunOptions options;
+  options.measure_from = log.duration / 2;
+  const SimResult result = RunExperiment(g, log, config, options);
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    EXPECT_LE(result.window[tier].app, result.full_run[tier].app);
+  }
+  EXPECT_GT(result.window[0].app, 0.0);
+}
+
+TEST(SimulatorTest, SeriesCoverWholeLog) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 1.0);
+  ExperimentConfig config;
+  config.policy = Policy::kRandom;
+  const SimResult result = RunExperiment(g, log, config);
+  // Hourly buckets over one day.
+  EXPECT_GE(result.top_app_series.size(), 23u);
+  EXPECT_LE(result.top_app_series.size(), 25u);
+}
+
+TEST(SimulatorTest, SamplerFiresAtInterval) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 0.5);
+  ExperimentConfig config;
+  config.policy = Policy::kRandom;
+  RunOptions options;
+  int samples = 0;
+  options.sampler = [&](SimTime, core::Engine&) { ++samples; };
+  options.sample_interval = 600;
+  RunExperiment(g, log, config, options);
+  // Half a day at 10-minute cadence: 72 samples.
+  EXPECT_NEAR(samples, 72, 2);
+}
+
+TEST(SimulatorTest, FlashOverlayAddsCelebrityReads) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 1.0);
+  ExperimentConfig config;
+  config.policy = Policy::kRandom;
+
+  wl::FlashEvent flash;
+  flash.celebrity = 7;
+  // Every user is a flash follower for the whole run: every read gains one
+  // extra view fetch.
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    if (u != 7) flash.followers.push_back(u);
+  }
+  flash.start = 0;
+  flash.end = log.duration;
+  const std::array<wl::FlashEvent, 1> events{flash};
+  RunOptions options;
+  options.flash = events;
+  const SimResult with_flash = RunExperiment(g, log, config, options);
+  const SimResult without = RunExperiment(g, log, config);
+  EXPECT_GT(with_flash.counters.view_reads, without.counters.view_reads);
+  // Extra view reads = number of reads issued by followers (all readers,
+  // except possibly user 7 herself).
+  EXPECT_LE(with_flash.counters.view_reads,
+            without.counters.view_reads + without.counters.reads);
+}
+
+TEST(SimulatorTest, DynaSoReUsesExtraMemory) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 1.0);
+  ExperimentConfig config;
+  config.policy = Policy::kDynaSoRe;
+  config.init = Init::kRandom;
+  config.extra_memory_pct = 100;
+  const SimResult result = RunExperiment(g, log, config);
+  EXPECT_GT(result.avg_replicas, 1.05);
+  EXPECT_GT(result.counters.replicas_created, 0u);
+  EXPECT_LE(result.memory_used, result.memory_capacity);
+}
+
+TEST(SimulatorTest, ZeroExtraMemoryMeansNoReplication) {
+  const auto g = TestGraph(5, 2250);  // divides evenly across 225 servers
+  const auto log = ShortLog(g, 0.5);
+  ExperimentConfig config;
+  config.policy = Policy::kDynaSoRe;
+  config.init = Init::kRandom;
+  config.extra_memory_pct = 0;
+  const SimResult result = RunExperiment(g, log, config);
+  // With capacity exactly |V|, every server is full of pinned views: the
+  // only possible adaptations are migrations into the tiny ceil() slack.
+  EXPECT_LT(result.avg_replicas, 1.02);
+}
+
+TEST(SimulatorTest, FlatTopologyRuns) {
+  const auto g = TestGraph();
+  const auto log = ShortLog(g, 0.5);
+  ExperimentConfig config;
+  config.cluster.flat = true;
+  config.policy = Policy::kDynaSoRe;
+  config.init = Init::kRandom;
+  config.extra_memory_pct = 50;
+  const SimResult result = RunExperiment(g, log, config);
+  EXPECT_GT(result.full_run[0].app, 0.0);  // single switch = tier kTop
+  EXPECT_EQ(result.full_run[static_cast<int>(net::Tier::kRack)].app, 0.0);
+}
+
+}  // namespace
+}  // namespace dynasore::sim

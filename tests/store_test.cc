@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "store/store_server.h"
+#include "store/view_data.h"
+
+namespace dynasore::store {
+namespace {
+
+StoreConfig SmallConfig(std::uint32_t capacity = 10) {
+  StoreConfig config;
+  config.capacity_views = capacity;
+  return config;
+}
+
+// ----- Capacity management -----
+
+TEST(StoreServerTest, InsertUntilFull) {
+  StoreServer server(0, SmallConfig(3));
+  EXPECT_TRUE(server.Insert(1));
+  EXPECT_TRUE(server.Insert(2));
+  EXPECT_TRUE(server.Insert(3));
+  EXPECT_TRUE(server.Full());
+  EXPECT_FALSE(server.Insert(4));
+  EXPECT_EQ(server.used(), 3u);
+}
+
+TEST(StoreServerTest, InsertExistingIsIdempotent) {
+  StoreServer server(0, SmallConfig(2));
+  EXPECT_TRUE(server.Insert(7));
+  EXPECT_TRUE(server.Insert(7));
+  EXPECT_EQ(server.used(), 1u);
+}
+
+TEST(StoreServerTest, EraseFreesSpace) {
+  StoreServer server(0, SmallConfig(1));
+  EXPECT_TRUE(server.Insert(1));
+  EXPECT_TRUE(server.Full());
+  server.Erase(1);
+  EXPECT_FALSE(server.Has(1));
+  EXPECT_TRUE(server.Insert(2));
+}
+
+TEST(StoreServerTest, WatermarkDetection) {
+  StoreConfig config = SmallConfig(100);
+  config.evict_watermark = 0.95;
+  StoreServer server(0, config);
+  for (ViewId v = 0; v < 95; ++v) server.Insert(v);
+  EXPECT_FALSE(server.AboveWatermark());
+  server.Insert(95);
+  EXPECT_TRUE(server.AboveWatermark());
+}
+
+TEST(StoreServerTest, SortedViewsIsSortedAndComplete) {
+  StoreServer server(0, SmallConfig(10));
+  for (ViewId v : {7u, 1u, 9u, 3u}) server.Insert(v);
+  const std::vector<ViewId> views = server.SortedViews();
+  EXPECT_EQ(views, (std::vector<ViewId>{1, 3, 7, 9}));
+}
+
+// ----- Statistics -----
+
+TEST(StoreServerTest, RecordReadTracksOrigins) {
+  StoreServer server(0, SmallConfig());
+  server.Insert(5);
+  server.RecordRead(5, 2);
+  server.RecordRead(5, 2);
+  server.RecordRead(5, 7);
+  const ReplicaStats* stats = server.Find(5);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->ReadsFrom(2), 2u);
+  EXPECT_EQ(stats->ReadsFrom(7), 1u);
+  EXPECT_EQ(stats->ReadsFrom(3), 0u);
+  EXPECT_EQ(stats->TotalReads(), 3u);
+}
+
+TEST(StoreServerTest, RecordWriteCounts) {
+  StoreServer server(0, SmallConfig());
+  server.Insert(5);
+  server.RecordWrite(5);
+  server.RecordWrite(5);
+  EXPECT_EQ(server.Find(5)->TotalWrites(), 2u);
+}
+
+TEST(StoreServerTest, RotationExpiresOldWindow) {
+  StoreConfig config = SmallConfig();
+  config.counter_slots = 3;
+  StoreServer server(0, config);
+  server.Insert(5);
+  server.RecordRead(5, 1);
+  for (int i = 0; i < 3; ++i) server.RotateCounters();
+  EXPECT_EQ(server.Find(5)->TotalReads(), 0u);
+}
+
+TEST(ReplicaStatsTest, CollectReadsSkipsEmptyOrigins) {
+  ReplicaStats stats(4);
+  stats.RecordRead(3, 5);
+  stats.RecordRead(8, 2);
+  stats.RecordRead(1, 1);
+  std::vector<ReplicaStats::OriginReads> out;
+  stats.CollectReads(out);
+  ASSERT_EQ(out.size(), 3u);
+  // Sorted by origin.
+  EXPECT_EQ(out[0].origin, 1);
+  EXPECT_EQ(out[1].origin, 3);
+  EXPECT_EQ(out[1].reads, 5u);
+  EXPECT_EQ(out[2].origin, 8);
+}
+
+TEST(ReplicaStatsTest, RotationDropsEmptyOriginEntries) {
+  ReplicaStats stats(2);
+  stats.RecordRead(1, 1);
+  stats.Rotate();
+  stats.Rotate();
+  std::vector<ReplicaStats::OriginReads> out;
+  stats.CollectReads(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ReplicaStatsTest, MergeRemappedOneToOne) {
+  ReplicaStats source(4);
+  source.RecordRead(0, 10);
+  source.RecordWrite(3);
+  ReplicaStats target(4);
+  target.MergeRemapped(source, [](std::uint16_t origin) {
+    return std::vector<std::uint16_t>{static_cast<std::uint16_t>(origin + 5)};
+  });
+  EXPECT_EQ(target.ReadsFrom(5), 10u);
+  EXPECT_EQ(target.TotalWrites(), 3u);
+}
+
+TEST(ReplicaStatsTest, MergeRemappedSpreadsAggregates) {
+  ReplicaStats source(4);
+  source.RecordRead(0, 10);
+  ReplicaStats target(4);
+  target.MergeRemapped(source, [](std::uint16_t) {
+    return std::vector<std::uint16_t>{1, 2, 3};
+  });
+  // 10 reads spread over 3 targets: 4 + 3 + 3.
+  EXPECT_EQ(target.TotalReads(), 10u);
+  EXPECT_EQ(target.ReadsFrom(1), 4u);
+  EXPECT_EQ(target.ReadsFrom(2), 3u);
+  EXPECT_EQ(target.ReadsFrom(3), 3u);
+}
+
+// ----- Utility & threshold plumbing -----
+
+TEST(StoreServerTest, UtilityRoundTrip) {
+  StoreServer server(0, SmallConfig());
+  server.Insert(5);
+  server.set_utility(5, 12.5);
+  EXPECT_DOUBLE_EQ(server.utility(5), 12.5);
+}
+
+TEST(StoreServerTest, AdmissionThresholdDefaultsToZero) {
+  StoreServer server(0, SmallConfig());
+  EXPECT_DOUBLE_EQ(server.admission_threshold(), 0.0);
+  server.set_admission_threshold(4.2);
+  EXPECT_DOUBLE_EQ(server.admission_threshold(), 4.2);
+}
+
+// ----- Payload mode -----
+
+TEST(StoreServerTest, PayloadModeAllocatesViewData) {
+  StoreConfig config = SmallConfig();
+  config.payload_mode = true;
+  StoreServer server(0, config);
+  server.Insert(3);
+  ASSERT_NE(server.FindData(3), nullptr);
+  EXPECT_EQ(server.FindData(3)->size(), 0u);
+}
+
+TEST(StoreServerTest, MetadataModeHasNoViewData) {
+  StoreServer server(0, SmallConfig());
+  server.Insert(3);
+  EXPECT_EQ(server.FindData(3), nullptr);
+}
+
+TEST(ViewDataTest, AppendKeepsNewestBounded) {
+  ViewData view(3);
+  for (SimTime t = 0; t < 5; ++t) {
+    view.Append(Event{0, t, "e" + std::to_string(t)});
+  }
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.events()[0].time, 2u);
+  EXPECT_EQ(view.events()[2].time, 4u);
+}
+
+TEST(ViewDataTest, ReplaceWithTruncatesToMax) {
+  ViewData view(2);
+  std::vector<Event> events;
+  for (SimTime t = 0; t < 4; ++t) events.push_back(Event{1, t, "x"});
+  view.ReplaceWith(events);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.events()[0].time, 2u);
+  EXPECT_EQ(view.events()[1].time, 3u);
+}
+
+}  // namespace
+}  // namespace dynasore::store

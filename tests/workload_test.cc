@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generator.h"
+#include "graph/presets.h"
+#include "workload/flash.h"
+#include "workload/request_log.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace dynasore::wl {
+namespace {
+
+graph::SocialGraph TestGraph(std::uint64_t seed = 1) {
+  graph::GraphGenConfig config;
+  config.num_users = 2000;
+  config.links_per_user = 8.0;
+  config.seed = seed;
+  return GenerateCommunityGraph(config);
+}
+
+// ----- Synthetic log (§4.2) -----
+
+TEST(SyntheticLogTest, SortedByTime) {
+  const auto g = TestGraph();
+  const RequestLog log = GenerateSyntheticLog(g, SyntheticLogConfig{});
+  EXPECT_TRUE(std::is_sorted(
+      log.requests.begin(), log.requests.end(),
+      [](const Request& a, const Request& b) { return a.time < b.time; }));
+}
+
+TEST(SyntheticLogTest, FourReadsPerWrite) {
+  const auto g = TestGraph();
+  SyntheticLogConfig config;
+  config.days = 2;
+  const RequestLog log = GenerateSyntheticLog(g, config);
+  EXPECT_NEAR(static_cast<double>(log.num_reads) / log.num_writes, 4.0, 0.01);
+}
+
+TEST(SyntheticLogTest, OneWritePerUserPerDayOnAverage) {
+  const auto g = TestGraph();
+  SyntheticLogConfig config;
+  config.days = 3;
+  const RequestLog log = GenerateSyntheticLog(g, config);
+  EXPECT_EQ(log.num_writes, static_cast<std::uint64_t>(3 * g.num_users()));
+}
+
+TEST(SyntheticLogTest, CountsMatchRequestVector) {
+  const auto g = TestGraph();
+  const RequestLog log = GenerateSyntheticLog(g, SyntheticLogConfig{});
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (const Request& r : log.requests) {
+    (r.op == OpType::kRead ? reads : writes) += 1;
+  }
+  EXPECT_EQ(reads, log.num_reads);
+  EXPECT_EQ(writes, log.num_writes);
+  EXPECT_EQ(log.requests.size(), reads + writes);
+}
+
+TEST(SyntheticLogTest, RequestsSpreadEvenlyOverTime) {
+  const auto g = TestGraph();
+  SyntheticLogConfig config;
+  config.days = 4;
+  const RequestLog log = GenerateSyntheticLog(g, config);
+  const DailyProfile profile = ComputeDailyProfile(log);
+  ASSERT_EQ(profile.writes_per_day.size(), 4u);
+  const double per_day = static_cast<double>(log.num_writes) / 4;
+  for (std::uint64_t count : profile.writes_per_day) {
+    EXPECT_NEAR(static_cast<double>(count), per_day, per_day * 0.1);
+  }
+}
+
+TEST(SyntheticLogTest, ActivityScalesWithLogDegree) {
+  const auto g = TestGraph();
+  SyntheticLogConfig config;
+  config.days = 20;  // enough samples per user
+  const RequestLog log = GenerateSyntheticLog(g, config);
+  std::vector<std::uint32_t> writes_of(g.num_users(), 0);
+  for (const Request& r : log.requests) {
+    if (r.op == OpType::kWrite) ++writes_of[r.user];
+  }
+  // Bucket users by follower count and compare average write activity: the
+  // top bucket must out-write the bottom bucket.
+  double low_sum = 0;
+  int low_n = 0;
+  double high_sum = 0;
+  int high_n = 0;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    if (g.InDegree(u) <= 2) {
+      low_sum += writes_of[u];
+      ++low_n;
+    } else if (g.InDegree(u) >= 30) {
+      high_sum += writes_of[u];
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  ASSERT_GT(high_n, 0);
+  EXPECT_GT(high_sum / high_n, 1.5 * (low_sum / low_n));
+}
+
+TEST(SyntheticLogTest, DeterministicForSeed) {
+  const auto g = TestGraph();
+  SyntheticLogConfig config;
+  config.seed = 77;
+  const RequestLog a = GenerateSyntheticLog(g, config);
+  const RequestLog b = GenerateSyntheticLog(g, config);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].time, b.requests[i].time);
+    EXPECT_EQ(a.requests[i].user, b.requests[i].user);
+  }
+}
+
+// ----- Activity trace (§4.2, Fig 2) -----
+
+TEST(TraceTest, WriteHeavyLikeNewsActivity) {
+  const auto g = TestGraph();
+  TraceLogConfig config;
+  config.days = 14;
+  const RequestLog log = GenerateActivityTrace(g, config);
+  // Paper: 17M writes vs 9.8M reads.
+  const double ratio =
+      static_cast<double>(log.num_writes) / static_cast<double>(log.num_reads);
+  EXPECT_NEAR(ratio, 17.0 / 9.8, 0.25);
+}
+
+TEST(TraceTest, TotalVolumeMatchesPaperScale) {
+  const auto g = TestGraph();
+  TraceLogConfig config;
+  config.days = 14;
+  const RequestLog log = GenerateActivityTrace(g, config);
+  // 17M writes / 2.5M users = 6.8 writes per user over 14 days.
+  const double writes_per_user =
+      static_cast<double>(log.num_writes) / g.num_users();
+  EXPECT_NEAR(writes_per_user, 6.8, 0.7);
+}
+
+TEST(TraceTest, DayToDayVolumeVaries) {
+  const auto g = TestGraph();
+  TraceLogConfig config;
+  config.days = 14;
+  const RequestLog log = GenerateActivityTrace(g, config);
+  const DailyProfile profile = ComputeDailyProfile(log);
+  std::uint64_t min_day = ~0ull;
+  std::uint64_t max_day = 0;
+  for (std::uint64_t count : profile.writes_per_day) {
+    min_day = std::min(min_day, count);
+    max_day = std::max(max_day, count);
+  }
+  // Fig 2 shows >2x day-to-day swings.
+  EXPECT_GT(static_cast<double>(max_day),
+            1.3 * static_cast<double>(min_day));
+}
+
+TEST(TraceTest, DiurnalPatternWithinDay) {
+  const auto g = TestGraph();
+  TraceLogConfig config;
+  config.days = 7;
+  const RequestLog log = GenerateActivityTrace(g, config);
+  std::array<std::uint64_t, 24> by_hour{};
+  for (const Request& r : log.requests) {
+    ++by_hour[(r.time % kSecondsPerDay) / kSecondsPerHour];
+  }
+  // Evening peak (around 20:00) should clearly exceed the early-morning
+  // trough (around 08:00).
+  EXPECT_GT(static_cast<double>(by_hour[20]),
+            1.5 * static_cast<double>(by_hour[8]));
+}
+
+TEST(TraceTest, SortedAndWithinDuration) {
+  const auto g = TestGraph();
+  TraceLogConfig config;
+  config.days = 5;
+  const RequestLog log = GenerateActivityTrace(g, config);
+  EXPECT_TRUE(std::is_sorted(
+      log.requests.begin(), log.requests.end(),
+      [](const Request& a, const Request& b) { return a.time < b.time; }));
+  for (const Request& r : log.requests) EXPECT_LT(r.time, log.duration);
+}
+
+// ----- Flash events (§4.6) -----
+
+TEST(FlashTest, AddsRequestedFollowers) {
+  const auto g = TestGraph();
+  common::Rng rng(3);
+  FlashConfig config;
+  config.extra_followers = 100;
+  const FlashEvent event = MakeFlashEvent(g, config, rng);
+  EXPECT_EQ(event.followers.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(event.followers.begin(), event.followers.end()));
+}
+
+TEST(FlashTest, FollowersAreFreshAndNotTheCelebrity) {
+  const auto g = TestGraph();
+  common::Rng rng(5);
+  const FlashEvent event = MakeFlashEvent(g, FlashConfig{}, rng);
+  const auto existing = g.Followers(event.celebrity);
+  for (UserId u : event.followers) {
+    EXPECT_NE(u, event.celebrity);
+    EXPECT_FALSE(std::binary_search(existing.begin(), existing.end(), u));
+  }
+}
+
+TEST(FlashTest, ActiveWindow) {
+  FlashEvent event;
+  event.start = 100;
+  event.end = 200;
+  EXPECT_FALSE(event.ActiveAt(99));
+  EXPECT_TRUE(event.ActiveAt(100));
+  EXPECT_TRUE(event.ActiveAt(199));
+  EXPECT_FALSE(event.ActiveAt(200));
+}
+
+TEST(FlashTest, IsFollowerBinarySearch) {
+  FlashEvent event;
+  event.followers = {2, 5, 9};
+  EXPECT_TRUE(event.IsFollower(5));
+  EXPECT_FALSE(event.IsFollower(4));
+}
+
+// Property sweep: the read/write ratio holds across graphs and durations.
+class SyntheticRatioTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SyntheticRatioTest, RatioAndVolume) {
+  const auto [days, ratio] = GetParam();
+  const auto g = TestGraph(99);
+  SyntheticLogConfig config;
+  config.days = days;
+  config.reads_per_write = ratio;
+  const RequestLog log = GenerateSyntheticLog(g, config);
+  EXPECT_EQ(log.num_writes,
+            static_cast<std::uint64_t>(days * g.num_users()));
+  EXPECT_NEAR(static_cast<double>(log.num_reads) / log.num_writes, ratio,
+              0.02);
+  EXPECT_EQ(log.duration,
+            static_cast<SimTime>(days * static_cast<double>(kSecondsPerDay)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatiosAndDurations, SyntheticRatioTest,
+    ::testing::Values(std::tuple{1.0, 4.0}, std::tuple{2.0, 4.0},
+                      std::tuple{3.0, 2.0}, std::tuple{0.5, 8.0}));
+
+}  // namespace
+}  // namespace dynasore::wl
