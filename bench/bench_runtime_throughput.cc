@@ -1,0 +1,162 @@
+// Serving-runtime throughput: replays the synthetic (§4.2) and flash (§4.6)
+// workloads through rt::ShardedRuntime, sweeping the shard count from 1 to
+// the hardware concurrency (always including 4), and reports ops/sec and
+// the scaling relative to the single-shard run. The static (Random
+// placement) sweep is the pure serving path; the adaptive (DynaSoRe) sweep
+// adds the per-shard adaptation machinery, whose hourly maintenance runs on
+// every shard engine and therefore scales sub-linearly by design.
+//
+// Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME
+// --csv-dir=PATH. Extra environment knob: RUNTIME_MAX_SHARDS caps the
+// sweep.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "runtime/sharded_runtime.h"
+#include "sim/experiment.h"
+#include "workload/flash.h"
+#include "workload/partition.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+namespace {
+
+std::vector<std::uint32_t> ShardSweep() {
+  std::uint32_t max_shards =
+      std::max(4u, std::thread::hardware_concurrency());
+  if (const char* cap = std::getenv("RUNTIME_MAX_SHARDS")) {
+    max_shards = std::max(1u, static_cast<std::uint32_t>(std::atoi(cap)));
+  }
+  std::vector<std::uint32_t> sweep;
+  for (std::uint32_t s = 1; s <= max_shards; s *= 2) sweep.push_back(s);
+  if (std::find(sweep.begin(), sweep.end(), max_shards) == sweep.end()) {
+    sweep.push_back(max_shards);
+  }
+  return sweep;
+}
+
+struct SweepRow {
+  std::uint32_t shards = 0;
+  double ops_per_sec = 0;
+  double speedup = 1.0;
+  double balance = 1.0;
+  std::uint64_t messages = 0;
+};
+
+std::vector<SweepRow> RunSweep(const graph::SocialGraph& g,
+                               const wl::RequestLog& log,
+                               std::span<const wl::FlashEvent> flash,
+                               bool adaptive, const BenchArgs& args,
+                               std::span<const std::uint32_t> sweep) {
+  sim::ExperimentConfig config;
+  config.policy = adaptive ? sim::Policy::kDynaSoRe : sim::Policy::kRandom;
+  config.extra_memory_pct = 50;
+  config.seed = args.seed;
+  const net::Topology topo = sim::MakeTopology(config.cluster);
+  core::EngineConfig engine = config.engine;
+  engine.store.capacity_views = sim::CapacityPerServer(
+      g.num_users(), topo.num_servers(), config.extra_memory_pct);
+  engine.adaptive = adaptive;
+  const place::PlacementResult placement = sim::MakeInitialPlacement(
+      g, topo, engine.store.capacity_views, config);
+
+  std::vector<SweepRow> rows;
+  for (std::uint32_t shards : sweep) {
+    rt::RuntimeConfig rt_config;
+    rt_config.num_shards = shards;
+    rt::ShardedRuntime runtime(g, topo, placement, engine, rt_config);
+    const wl::ShardedRequests parted = wl::PartitionRequests(
+        log, shards,
+        [&](UserId u) { return runtime.shard_map().shard_of(u); });
+    const rt::RuntimeResult result = runtime.Run(log, flash);
+
+    SweepRow row;
+    row.shards = shards;
+    row.ops_per_sec = result.ops_per_sec;
+    row.speedup =
+        rows.empty() ? 1.0 : result.ops_per_sec / rows.front().ops_per_sec;
+    row.balance = parted.balance_factor();
+    row.messages = result.totals.messages_sent;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintSweep(const char* workload, const char* mode,
+                const std::vector<SweepRow>& rows, const BenchArgs& args,
+                std::string* csv) {
+  std::printf("-- %s workload, %s engine --\n", workload, mode);
+  common::TablePrinter table(
+      {"shards", "ops/sec", "speedup vs 1", "balance", "msgs"});
+  for (const SweepRow& row : rows) {
+    table.AddRow({common::TablePrinter::Fmt(std::uint64_t{row.shards}),
+                  common::TablePrinter::Fmt(row.ops_per_sec, 0),
+                  common::TablePrinter::Fmt(row.speedup, 2),
+                  common::TablePrinter::Fmt(row.balance, 3),
+                  common::TablePrinter::Fmt(row.messages)});
+    csv->append(workload).append(",").append(mode).append(",");
+    csv->append(std::to_string(row.shards)).append(",");
+    csv->append(common::TablePrinter::Fmt(row.ops_per_sec, 1)).append(",");
+    csv->append(common::TablePrinter::Fmt(row.speedup, 3)).append("\n");
+  }
+  table.Print();
+  (void)args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::ParseArgs(argc, argv);
+  const std::vector<std::uint32_t> sweep = ShardSweep();
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::printf("== Runtime throughput: shard sweep 1..%u "
+              "(hardware_concurrency=%u, scale=%g, days=%g) ==\n",
+              sweep.back(), hc, args.scale, args.days);
+  if (hc < sweep.back()) {
+    std::printf("note: sweeping past the %u available hardware thread(s); "
+                "speedups beyond that count reflect oversubscription, not "
+                "the runtime's scaling\n", hc);
+  }
+
+  const auto g = bench::MakeGraph(args.graph, args);
+  const auto log = bench::MakeSyntheticLog(g, args);
+  std::printf("users=%u requests=%zu (%llu reads, %llu writes)\n\n",
+              g.num_users(), log.requests.size(),
+              static_cast<unsigned long long>(log.num_reads),
+              static_cast<unsigned long long>(log.num_writes));
+
+  common::Rng rng(args.seed + 1000);
+  wl::FlashConfig flash_config;
+  flash_config.start = log.duration / 4;
+  flash_config.end = log.duration / 2;
+  const wl::FlashEvent flash = wl::MakeFlashEvent(g, flash_config, rng);
+  const std::vector<wl::FlashEvent> flash_events{flash};
+
+  std::string csv = "workload,mode,shards,ops_per_sec,speedup\n";
+  PrintSweep("synthetic", "static",
+             RunSweep(g, log, {}, /*adaptive=*/false, args, sweep), args,
+             &csv);
+  std::printf("\n");
+  PrintSweep("synthetic", "adaptive",
+             RunSweep(g, log, {}, /*adaptive=*/true, args, sweep), args,
+             &csv);
+  std::printf("\n");
+  PrintSweep("flash", "static",
+             RunSweep(g, log, flash_events, /*adaptive=*/false, args, sweep),
+             args, &csv);
+  std::printf("\n");
+  PrintSweep("flash", "adaptive",
+             RunSweep(g, log, flash_events, /*adaptive=*/true, args, sweep),
+             args, &csv);
+
+  bench::SaveCsv(args, "runtime_throughput", csv);
+  return 0;
+}

@@ -3,9 +3,16 @@
 // is associated to a time period, and servers start updating the following
 // counter at the end of the period." The default configuration matches the
 // evaluation setup: 24 slots shifted every hour.
+//
+// Thread-safety: single-writer. The counter is deliberately unsynchronized
+// — in the sharded runtime every RotatingCounter lives inside one shard's
+// engine, whose worker thread is its only reader and writer (cross-shard
+// effects arrive through mailboxes already serialized onto that thread).
+// Do not share an instance across threads without external synchronization.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace dynasore::common {

@@ -1,6 +1,12 @@
 // Small statistics helpers used by generators, experiments and tests.
+//
+// Thread-safety: all classes here are single-writer and unsynchronized.
+// Concurrent code (the sharded runtime) keeps one accumulator per shard and
+// combines them after the run with RunningStats::Merge — never by sharing
+// one instance across threads.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -11,6 +17,11 @@ namespace dynasore::common {
 class RunningStats {
  public:
   void Add(double x);
+
+  // Folds another accumulator into this one (parallel-merge form of
+  // Welford; Chan et al.). Exact for count/mean/min/max/sum, numerically
+  // stable for the variance. Lets per-shard accumulators merge on demand.
+  void Merge(const RunningStats& other);
 
   std::uint64_t count() const { return count_; }
   double mean() const { return mean_; }

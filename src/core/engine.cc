@@ -51,7 +51,13 @@ std::uint64_t Engine::TakeWatchedReads() {
 
 void Engine::ExecuteRead(UserId reader, std::span<const ViewId> targets,
                          SimTime t, std::vector<store::Event>* feed_out) {
-  ++counters_.reads;
+  ExecuteReadPartial(reader, targets, t, /*count_request=*/true, feed_out);
+}
+
+void Engine::ExecuteReadPartial(UserId reader, std::span<const ViewId> targets,
+                                SimTime t, bool count_request,
+                                std::vector<store::Event>* feed_out) {
+  if (count_request) ++counters_.reads;
   const BrokerId broker = registry_.info(reader).read_proxy;
   const RackId broker_rack = topo_->rack_of_broker(broker);
 
@@ -93,7 +99,11 @@ void Engine::ExecuteRead(UserId reader, std::span<const ViewId> targets,
     }
   }
 
-  if (config_.adaptive && config_.enable_proxy_migration &&
+  // Proxy placement belongs to the request's owner: a remotely applied
+  // slice (count_request=false) must not migrate the reader's proxy on a
+  // non-owner engine — mirroring ApplyReplicatedWrite, which skips write
+  // proxy migration.
+  if (count_request && config_.adaptive && config_.enable_proxy_migration &&
       !targets.empty()) {
     MaybeMigrateReadProxy(reader, accessed_scratch_, t);
   }
@@ -126,6 +136,22 @@ void Engine::ExecuteWrite(UserId writer, SimTime t) {
 
   if (config_.adaptive && config_.enable_proxy_migration) {
     MaybeMigrateWriteProxy(writer, t);
+  }
+}
+
+void Engine::ApplyReplicatedWrite(ViewId v, SimTime t) {
+  (void)t;  // the originating shard already charged the fan-out traffic
+  std::span<const store::Event> new_version;
+  if (persist_ != nullptr && config_.store.payload_mode) {
+    new_version = persist_->FetchView(v);
+  }
+  for (ServerId s : registry_.info(v).replicas) {
+    if (config_.adaptive) servers_[s].RecordWrite(v);
+    if (!new_version.empty()) {
+      if (store::ViewData* data = servers_[s].FindData(v)) {
+        data->ReplaceWith(new_version);
+      }
+    }
   }
 }
 
@@ -510,6 +536,7 @@ void Engine::DropReplica(ViewId v, ServerId s, SimTime t) {
 void Engine::RecomputeUtilities(ServerId s) {
   store::StoreServer& server = servers_[s];
   for (ViewId v : server.SortedViews()) {
+    if (!Maintains(v)) continue;
     if (Pinned(v)) {
       server.set_utility(v, store::kInfiniteUtility);
       continue;
@@ -528,6 +555,7 @@ void Engine::UpdateThresholdAndEvict(ServerId s, SimTime t) {
 
   // Views with negative utility are automatically removed (§3.2).
   for (ViewId v : server.SortedViews()) {
+    if (!Maintains(v)) continue;
     if (!Pinned(v) && server.utility(v) < 0) {
       DropReplica(v, s, t);
       ++counters_.replicas_dropped;
@@ -539,7 +567,10 @@ void Engine::UpdateThresholdAndEvict(ServerId s, SimTime t) {
   // percentile of *capacity*, or 0 while the server has room below it.
   std::vector<double> utilities;
   utilities.reserve(server.used());
-  for (ViewId v : server.SortedViews()) utilities.push_back(server.utility(v));
+  for (ViewId v : server.SortedViews()) {
+    if (!Maintains(v)) continue;
+    utilities.push_back(server.utility(v));
+  }
   const auto fill_slots = static_cast<std::size_t>(
       std::ceil(config_.store.threshold_fill * server.capacity()));
   if (utilities.size() < fill_slots || fill_slots == 0) {
@@ -554,7 +585,7 @@ void Engine::UpdateThresholdAndEvict(ServerId s, SimTime t) {
     ViewId victim = kInvalidView;
     double victim_utility = store::kInfiniteUtility;
     for (ViewId v : server.SortedViews()) {
-      if (Pinned(v)) continue;
+      if (!Maintains(v) || Pinned(v)) continue;
       if (server.utility(v) < victim_utility) {
         victim_utility = server.utility(v);
         victim = v;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -49,6 +50,24 @@ struct EngineCounters {
   std::uint64_t read_proxy_migrations = 0;
   std::uint64_t write_proxy_migrations = 0;
   std::uint64_t crash_rebuilds = 0;
+
+  // Merges another engine's counters (per-shard accumulators merged on
+  // demand by the runtime).
+  EngineCounters& operator+=(const EngineCounters& o) {
+    reads += o.reads;
+    writes += o.writes;
+    view_reads += o.view_reads;
+    replica_updates += o.replica_updates;
+    replicas_created += o.replicas_created;
+    replicas_dropped += o.replicas_dropped;
+    evictions_watermark += o.evictions_watermark;
+    drops_negative += o.drops_negative;
+    migrations += o.migrations;
+    read_proxy_migrations += o.read_proxy_migrations;
+    write_proxy_migrations += o.write_proxy_migrations;
+    crash_rebuilds += o.crash_rebuilds;
+    return *this;
+  }
 };
 
 class Engine {
@@ -68,6 +87,40 @@ class Engine {
   // fetching the new version from the attached persistent store in payload
   // mode (§3.3 cache-coherence protocol).
   void ExecuteWrite(UserId writer, SimTime t);
+
+  // ----- Shard-safe stepping API (used by rt::ShardedRuntime) -----
+  //
+  // The runtime splits one logical request across several engine instances
+  // (one per shard). These entry points let it execute a *slice* of a
+  // request on this engine without double-counting the request itself.
+  // Engine instances are not internally synchronized: each shard owns one
+  // engine and is its only writer; cross-shard effects arrive through the
+  // runtime's mailboxes, already serialized.
+
+  // Executes a subset of a logical read's targets. `count_request` controls
+  // whether this call accounts for the request in `counters().reads` — the
+  // shard owning the reader passes true exactly once; shards serving remote
+  // target slices pass false. ExecuteRead == ExecuteReadPartial with
+  // count_request=true.
+  void ExecuteReadPartial(UserId reader, std::span<const ViewId> targets,
+                          SimTime t, bool count_request,
+                          std::vector<store::Event>* feed_out = nullptr);
+
+  // Applies a write that was executed (counted and traffic-charged) on
+  // another shard's engine: refreshes this engine's replica write statistics
+  // and payload version so adaptation and reads stay coherent, without
+  // touching counters or the traffic recorder.
+  void ApplyReplicatedWrite(ViewId v, SimTime t);
+
+  // Restricts the hourly maintenance (utility recompute, negative-utility
+  // drops, admission thresholds, watermark eviction) to views the caller
+  // owns. The sharded runtime installs the shard's ownership predicate so
+  // each engine maintains only its partition instead of redundantly
+  // re-deciding every other shard's views; non-owned replicas keep their
+  // initial placement. An empty function restores full maintenance.
+  void SetMaintenanceOwner(std::function<bool(ViewId)> owned) {
+    maintenance_owner_ = std::move(owned);
+  }
 
   // Advances the statistics window: rotates counters, recomputes utilities
   // and admission thresholds, drops negative-utility replicas, and runs the
@@ -194,8 +247,13 @@ class Engine {
   EngineCounters counters_;
   std::uint32_t current_slot_ = 0;
 
+  bool Maintains(ViewId v) const {
+    return !maintenance_owner_ || maintenance_owner_(v);
+  }
+
   ViewId watched_view_ = kInvalidView;
   std::uint64_t watched_reads_ = 0;
+  std::function<bool(ViewId)> maintenance_owner_;
 
   // Scratch buffers reused across requests.
   mutable std::vector<store::ReplicaStats::OriginReads> origin_scratch_;

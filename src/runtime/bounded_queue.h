@@ -1,0 +1,87 @@
+// Bounded blocking MPSC queue used by the sharded runtime: the dispatcher
+// (and, for mailboxes, the other shards) push batches, one worker pops them.
+// A mutex + two condition variables is deliberately simple — batches are
+// pushed at most a few times per request-batch or epoch, so the lock is far
+// off the per-request hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dynasore::rt {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty. Empty optional once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop; empty optional when nothing is queued right now.
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Wakes all waiters; subsequent pushes fail and pops drain the remainder.
+  void Close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dynasore::rt

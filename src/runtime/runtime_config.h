@@ -1,0 +1,42 @@
+// Configuration for the sharded serving runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "runtime/shard_map.h"
+
+namespace dynasore::rt {
+
+struct RuntimeConfig {
+  // Worker shards, each backed by its own core::Engine. 1 means the
+  // single-shard configuration whose counters must match the sequential
+  // engine exactly.
+  std::uint32_t num_shards = 1;
+
+  // How the user/view id space maps onto shards.
+  ShardingMode sharding = ShardingMode::kHash;
+
+  // Task batches that may be in flight per shard queue before the
+  // dispatcher blocks (backpressure bound, in batches not requests).
+  std::uint32_t queue_depth = 64;
+
+  // Requests per task batch pushed into a shard queue. Batching amortizes
+  // the queue lock; the engine work per request dwarfs it at this size.
+  std::uint32_t batch_size = 128;
+
+  // Epoch length in simulated seconds: cross-shard mailboxes are drained
+  // and engine ticks fire only at epoch boundaries. Must divide the
+  // engine's slot_seconds so tick times land on boundaries; 0 means "one
+  // epoch per engine slot". Values that do not divide slot_seconds are
+  // rounded down to the nearest divisor.
+  SimTime epoch_seconds = 0;
+
+  // false selects the deterministic inline fallback: the same epoch state
+  // machine executed on the calling thread, shard by shard, with no threads
+  // or locks involved. Produces byte-identical results to the threaded
+  // path (which is itself deterministic by construction).
+  bool spawn_threads = true;
+};
+
+}  // namespace dynasore::rt

@@ -1,0 +1,51 @@
+// Maps the user/view id space onto runtime shards. Hash sharding spreads
+// hot users evenly (the default); range sharding keeps contiguous id blocks
+// together, which preserves whatever locality the id assignment carries and
+// makes shard ownership trivially explainable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dynasore::rt {
+
+enum class ShardingMode : std::uint8_t { kHash, kRange };
+
+class ShardMap {
+ public:
+  ShardMap(std::uint32_t num_shards, std::uint32_t num_users,
+           ShardingMode mode)
+      : num_shards_(num_shards == 0 ? 1 : num_shards),
+        mode_(mode),
+        block_((num_users + num_shards_ - 1) / num_shards_) {
+    if (block_ == 0) block_ = 1;
+  }
+
+  std::uint32_t shard_of(UserId u) const {
+    if (mode_ == ShardingMode::kRange) {
+      const std::uint32_t s = u / block_;
+      return s < num_shards_ ? s : num_shards_ - 1;
+    }
+    return static_cast<std::uint32_t>(Mix(u) % num_shards_);
+  }
+
+  std::uint32_t num_shards() const { return num_shards_; }
+  ShardingMode mode() const { return mode_; }
+
+ private:
+  // splitmix64 finalizer: cheap, well-distributed, and stable across runs
+  // (shard assignment is part of the runtime's deterministic contract).
+  static std::uint64_t Mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint32_t num_shards_;
+  ShardingMode mode_;
+  std::uint32_t block_;
+};
+
+}  // namespace dynasore::rt

@@ -1,0 +1,370 @@
+#include "runtime/sharded_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace dynasore::rt {
+
+// ----- Gate -----
+
+void ShardedRuntime::Gate::Arrive() {
+  {
+    std::lock_guard lock(mutex_);
+    ++arrived_;
+  }
+  cv_.notify_all();
+}
+
+void ShardedRuntime::Gate::WaitFor(std::uint32_t n) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return arrived_ >= n; });
+  arrived_ = 0;
+}
+
+// ----- Construction -----
+
+ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
+                               const net::Topology& topo,
+                               const place::PlacementResult& initial,
+                               const core::EngineConfig& engine_config,
+                               const RuntimeConfig& config)
+    : graph_(&g),
+      topo_(topo),
+      engine_config_(engine_config),
+      config_(config),
+      map_(config.num_shards, g.num_users(), config.sharding) {
+  // Shard engines maintain only their owned partition (see
+  // SetMaintenanceOwner below), so a non-owner engine never consults a
+  // view's write statistics — the coherence fan-out is only needed when
+  // payloads must stay readable everywhere.
+  replicate_writes_ =
+      map_.num_shards() > 1 && engine_config_.store.payload_mode;
+
+  const std::uint32_t n = map_.num_shards();
+  // A mailbox holds at most one batch per peer per epoch (it is fully
+  // drained before the next epoch starts), so capacity n never blocks.
+  const std::uint32_t queue_depth = std::max(config_.queue_depth, 1u);
+  shards_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>(queue_depth, n);
+    shard->id = s;
+    shard->engine =
+        std::make_unique<core::Engine>(topo_, initial, engine_config_);
+    if (n > 1) {
+      // Each engine adapts and evicts only the views this shard owns; the
+      // other shards' views keep their initial replicas here.
+      shard->engine->SetMaintenanceOwner(
+          [map = map_, s](ViewId v) { return map.shard_of(v) == s; });
+    }
+    shard->outbox.resize(n);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  for (auto& shard : shards_) {
+    shard->tasks.Close();
+    shard->mailbox.Close();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedRuntime::AttachPersistentStore(
+    const persist::PersistentStore* persist) {
+  for (auto& shard : shards_) shard->engine->AttachPersistentStore(persist);
+}
+
+core::Engine& ShardedRuntime::shard_engine(std::uint32_t shard) {
+  return *shards_[shard]->engine;
+}
+
+// ----- Per-shard execution (runs on the shard's worker thread, or on the
+// calling thread in the inline fallback; either way single-writer) -----
+
+void ShardedRuntime::ExecuteRequest(Shard& shard, const Request& request,
+                                    std::uint64_t seq) {
+  ++shard.stats.requests;
+  core::Engine& engine = *shard.engine;
+  const std::uint32_t n = map_.num_shards();
+
+  if (request.op == OpType::kWrite) {
+    ++shard.stats.writes;
+    engine.ExecuteWrite(request.user, request.time);
+    if (replicate_writes_) {
+      for (std::uint32_t d = 0; d < n; ++d) {
+        if (d == shard.id) continue;
+        shard.outbox[d].ops.push_back(
+            FlatOp{seq, request.time, request.user, OpType::kWrite, 0, 0});
+        ++shard.stats.messages_sent;
+      }
+    }
+    return;
+  }
+
+  ++shard.stats.reads;
+  // Target expansion matches sim::Simulator::Run: the reader's followees,
+  // plus the celebrity of every active flash event the reader follows.
+  const auto followees = graph_->Followees(request.user);
+  std::span<const ViewId> targets = followees;
+  bool overlaid = false;
+  for (const wl::FlashEvent& flash : flash_) {
+    if (flash.ActiveAt(request.time) && flash.IsFollower(request.user)) {
+      if (!overlaid) {
+        shard.overlay_scratch.assign(followees.begin(), followees.end());
+        overlaid = true;
+      }
+      shard.overlay_scratch.push_back(flash.celebrity);
+    }
+  }
+  if (overlaid) targets = shard.overlay_scratch;
+
+  if (n == 1) {
+    engine.ExecuteReadPartial(request.user, targets, request.time,
+                              /*count_request=*/true);
+    return;
+  }
+
+  shard.local_scratch.clear();
+  for (ViewId v : targets) {
+    const std::uint32_t owner = map_.shard_of(v);
+    if (owner == shard.id) {
+      shard.local_scratch.push_back(v);
+      continue;
+    }
+    // Append straight into the per-peer flat buffer; consecutive targets of
+    // the same request coalesce into one FlatOp (last_seq tracks that).
+    OutBatch& out = shard.outbox[owner];
+    if (out.last_seq != seq) {
+      out.last_seq = seq;
+      out.ops.push_back(FlatOp{seq, request.time, request.user, OpType::kRead,
+                               static_cast<std::uint32_t>(out.targets.size()),
+                               0});
+      ++shard.stats.messages_sent;
+    }
+    out.targets.push_back(v);
+    ++out.ops.back().target_count;
+  }
+  // The reader's owner accounts for the request exactly once, even when its
+  // local slice is empty.
+  engine.ExecuteReadPartial(request.user, shard.local_scratch, request.time,
+                            /*count_request=*/true);
+}
+
+void ShardedRuntime::FlushOutboxes(Shard& shard) {
+  // Push one batch per peer even when empty: the drain phase pops exactly
+  // n-1 batches, which keeps the mailbox protocol free of counters.
+  for (std::uint32_t d = 0; d < map_.num_shards(); ++d) {
+    if (d == shard.id) continue;
+    shards_[d]->mailbox.Push(std::move(shard.outbox[d]));
+    shard.outbox[d] = OutBatch{};
+  }
+}
+
+void ShardedRuntime::DrainMailbox(Shard& shard) {
+  auto& batches = shard.drain_batches;
+  auto& order = shard.drain_order;
+  batches.clear();
+  order.clear();
+  for (std::uint32_t k = 0; k + 1 < map_.num_shards(); ++k) {
+    auto batch = shard.mailbox.TryPop();
+    assert(batch.has_value() &&
+           "all peers flush before the dispatcher starts the drain phase");
+    if (!batch) continue;
+    batches.push_back(std::move(*batch));
+  }
+  for (const OutBatch& batch : batches) {
+    for (const FlatOp& op : batch.ops) {
+      order.push_back(Shard::DrainRef{&op, batch.targets.data()});
+    }
+  }
+  // Global sequence order makes the drain deterministic regardless of the
+  // order batches arrived in.
+  std::sort(order.begin(), order.end(),
+            [](const Shard::DrainRef& a, const Shard::DrainRef& b) {
+              return a.op->seq < b.op->seq;
+            });
+  core::Engine& engine = *shard.engine;
+  for (const Shard::DrainRef& ref : order) {
+    const FlatOp& op = *ref.op;
+    if (op.op == OpType::kRead) {
+      engine.ExecuteReadPartial(
+          op.user,
+          std::span<const ViewId>(ref.targets + op.target_begin,
+                                  op.target_count),
+          op.time, /*count_request=*/false);
+      ++shard.stats.remote_read_slices;
+    } else {
+      engine.ApplyReplicatedWrite(op.user, op.time);
+      ++shard.stats.remote_write_applies;
+    }
+  }
+}
+
+void ShardedRuntime::RunTicks(Shard& shard, std::span<const SimTime> ticks) {
+  for (SimTime t : ticks) shard.engine->Tick(t);
+}
+
+void ShardedRuntime::WorkerLoop(Shard& shard) {
+  while (true) {
+    auto task = shard.tasks.Pop();
+    if (!task || task->kind == Task::Kind::kShutdown) return;
+    switch (task->kind) {
+      case Task::Kind::kRequests:
+        for (const SeqRequest& sr : task->requests) {
+          ExecuteRequest(shard, sr.request, sr.seq);
+        }
+        break;
+      case Task::Kind::kEndEpoch:
+        FlushOutboxes(shard);
+        gate_.Arrive();
+        break;
+      case Task::Kind::kDrainEpoch:
+        DrainMailbox(shard);
+        RunTicks(shard, task->ticks);
+        ++shard.stats.epochs;
+        gate_.Arrive();
+        break;
+      case Task::Kind::kShutdown:
+        return;
+    }
+  }
+}
+
+// ----- Dispatch -----
+
+RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
+                                  std::span<const wl::FlashEvent> flash) {
+  flash_ = flash;
+  const std::uint32_t n = map_.num_shards();
+  const SimTime slot = engine_config_.slot_seconds;
+
+  // Epoch boundaries must be a superset of tick times so ticks fire in the
+  // same position relative to requests as in the sequential replay: round
+  // the requested epoch down to a divisor of slot_seconds.
+  SimTime epoch = config_.epoch_seconds == 0
+                      ? slot
+                      : std::min<SimTime>(config_.epoch_seconds, slot);
+  if (epoch == 0) epoch = slot;
+  while (slot % epoch != 0) --epoch;
+
+  const bool threaded = config_.spawn_threads;
+  if (threaded) {
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      shard->worker = std::thread([this, s] { WorkerLoop(*s); });
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto& requests = log.requests;
+  // The sequential replay fires a tick either before the first request at
+  // or past its time, or in the trailing flush up to log.duration.
+  const SimTime tick_limit = std::max(
+      log.duration, requests.empty() ? SimTime{0} : requests.back().time);
+  SimTime next_tick = slot;
+  std::uint64_t seq = 0;
+  std::size_t i = 0;
+  const std::size_t batch_size = std::max<std::uint32_t>(config_.batch_size, 1);
+  std::vector<std::vector<SeqRequest>> staging(n);
+  std::vector<SimTime> ticks;
+
+  const auto flush_shard = [&](std::uint32_t s) {
+    if (staging[s].empty()) return;
+    if (threaded) {
+      Task task;
+      task.kind = Task::Kind::kRequests;
+      task.requests = std::move(staging[s]);
+      shards_[s]->tasks.Push(std::move(task));
+      staging[s] = {};
+    } else {
+      for (const SeqRequest& sr : staging[s]) {
+        ExecuteRequest(*shards_[s], sr.request, sr.seq);
+      }
+      staging[s].clear();
+    }
+  };
+
+  for (SimTime epoch_end = epoch;; epoch_end += epoch) {
+    while (i < requests.size() && requests[i].time < epoch_end) {
+      const std::uint32_t s = map_.shard_of(requests[i].user);
+      staging[s].push_back(SeqRequest{seq, requests[i]});
+      if (staging[s].size() >= batch_size) flush_shard(s);
+      ++seq;
+      ++i;
+    }
+    for (std::uint32_t s = 0; s < n; ++s) flush_shard(s);
+
+    ticks.clear();
+    while (next_tick <= epoch_end && next_tick <= tick_limit) {
+      ticks.push_back(next_tick);
+      next_tick += slot;
+    }
+
+    if (threaded) {
+      for (auto& shard : shards_) {
+        Task task;
+        task.kind = Task::Kind::kEndEpoch;
+        shard->tasks.Push(std::move(task));
+      }
+      gate_.WaitFor(n);
+      for (auto& shard : shards_) {
+        Task task;
+        task.kind = Task::Kind::kDrainEpoch;
+        task.ticks = ticks;
+        shard->tasks.Push(std::move(task));
+      }
+      gate_.WaitFor(n);
+    } else {
+      for (auto& shard : shards_) FlushOutboxes(*shard);
+      for (auto& shard : shards_) {
+        DrainMailbox(*shard);
+        RunTicks(*shard, ticks);
+        ++shard->stats.epochs;
+      }
+    }
+
+    if (i == requests.size() && next_tick > tick_limit) break;
+  }
+
+  if (threaded) {
+    for (auto& shard : shards_) {
+      Task task;
+      task.kind = Task::Kind::kShutdown;
+      shard->tasks.Push(std::move(task));
+    }
+    for (auto& shard : shards_) shard->worker.join();
+  }
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+  flash_ = {};
+
+  RuntimeResult result = MergeResults(wall.count());
+  result.expected_requests = requests.size();
+  return result;
+}
+
+RuntimeResult ShardedRuntime::MergeResults(double wall_seconds) const {
+  RuntimeResult result;
+  result.wall_seconds = wall_seconds;
+  for (const auto& shard : shards_) {
+    result.shard_counters.push_back(shard->engine->counters());
+    result.counters += shard->engine->counters();
+    result.shard_stats.push_back(shard->stats);
+    result.totals += shard->stats;
+    const net::TrafficRecorder& traffic = shard->engine->traffic();
+    for (int tier = 0; tier < net::kNumTiers; ++tier) {
+      const auto t = static_cast<net::Tier>(tier);
+      result.traffic_app[tier] += traffic.TierTotal(t, net::MsgClass::kApp);
+      result.traffic_sys[tier] += traffic.TierTotal(t, net::MsgClass::kSystem);
+    }
+  }
+  if (wall_seconds > 0) {
+    result.ops_per_sec =
+        static_cast<double>(result.totals.requests) / wall_seconds;
+  }
+  return result;
+}
+
+}  // namespace dynasore::rt

@@ -1,0 +1,199 @@
+// Sharded multi-threaded serving runtime.
+//
+// The sequential engine replays a request log on one thread; this runtime
+// partitions the user/view id space across N worker shards, each backed by
+// its own core::Engine instance over the same topology and initial
+// placement. A dispatcher walks the log in time order and routes every
+// request to the shard owning the issuing user through a bounded MPSC task
+// queue (batched to amortize the lock). A read whose target list crosses
+// shard boundaries executes its local slice immediately and ships the
+// remote slices — and replicated-write coherence updates — through
+// per-shard mailboxes that are drained at epoch boundaries, so the
+// per-request hot path never touches shared state: counters and traffic
+// live in per-shard accumulators merged on demand after the run.
+//
+// Determinism: each shard's engine observes (a) its owned requests in
+// global log order, (b) drained mailbox messages sorted by global sequence
+// number, and (c) ticks at epoch boundaries — none of which depend on
+// thread interleaving. Runs are therefore reproducible for any shard
+// count, and the single-shard configuration (threaded or the inline
+// fallback) reproduces the sequential engine's counters exactly.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/social_graph.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "placement/placement.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/runtime_config.h"
+#include "runtime/shard_map.h"
+#include "workload/flash.h"
+#include "workload/request_log.h"
+
+namespace dynasore::rt {
+
+// Per-shard accumulators kept off the shared hot path; merged on demand.
+struct ShardStats {
+  std::uint64_t requests = 0;  // owned requests executed (reads + writes)
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t remote_read_slices = 0;   // read slices served for peers
+  std::uint64_t remote_write_applies = 0; // replicated writes applied
+  std::uint64_t messages_sent = 0;        // RemoteOps posted to peers
+  std::uint64_t epochs = 0;
+
+  ShardStats& operator+=(const ShardStats& o) {
+    requests += o.requests;
+    reads += o.reads;
+    writes += o.writes;
+    remote_read_slices += o.remote_read_slices;
+    remote_write_applies += o.remote_write_applies;
+    messages_sent += o.messages_sent;
+    epochs += o.epochs;
+    return *this;
+  }
+};
+
+struct RuntimeResult {
+  core::EngineCounters counters;  // merged across shard engines
+  std::vector<core::EngineCounters> shard_counters;
+  ShardStats totals;
+  std::vector<ShardStats> shard_stats;
+  // Merged per-tier message totals across shard engines (net::Tier index).
+  std::array<std::uint64_t, net::kNumTiers> traffic_app{};
+  std::array<std::uint64_t, net::kNumTiers> traffic_sys{};
+  std::uint64_t expected_requests = 0;  // size of the replayed log
+  double wall_seconds = 0;
+  double ops_per_sec = 0;  // requests / wall_seconds
+};
+
+class ShardedRuntime {
+ public:
+  // Copies the topology (shard engines keep pointers into it) and builds
+  // one engine per shard from the same initial placement and config.
+  ShardedRuntime(const graph::SocialGraph& g, const net::Topology& topo,
+                 const place::PlacementResult& initial,
+                 const core::EngineConfig& engine_config,
+                 const RuntimeConfig& config);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  // Replays the whole log (with optional flash-event overlays, matching
+  // sim::Simulator::Run semantics) and merges the per-shard results.
+  RuntimeResult Run(const wl::RequestLog& log,
+                    std::span<const wl::FlashEvent> flash = {});
+
+  void AttachPersistentStore(const persist::PersistentStore* persist);
+
+  core::Engine& shard_engine(std::uint32_t shard);
+  const ShardMap& shard_map() const { return map_; }
+  const RuntimeConfig& config() const { return config_; }
+  std::uint32_t num_shards() const { return map_.num_shards(); }
+
+ private:
+  // A slice of work shipped between shards; applied at epoch boundaries in
+  // global sequence order. Targets live in the owning OutBatch's flat
+  // buffer so staging a remote slice never allocates per request.
+  struct FlatOp {
+    std::uint64_t seq = 0;
+    SimTime time = 0;
+    UserId user = 0;
+    OpType op = OpType::kRead;
+    std::uint32_t target_begin = 0;  // into OutBatch::targets (reads only)
+    std::uint32_t target_count = 0;
+  };
+
+  static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+
+  // One epoch's worth of remote work from one source shard to one peer.
+  struct OutBatch {
+    std::vector<FlatOp> ops;
+    std::vector<ViewId> targets;
+    std::uint64_t last_seq = kNoSeq;  // producer-side request coalescing
+  };
+
+  struct SeqRequest {
+    std::uint64_t seq = 0;
+    Request request;
+  };
+
+  struct Task {
+    enum class Kind : std::uint8_t {
+      kRequests,
+      kEndEpoch,
+      kDrainEpoch,
+      kShutdown,
+    };
+    Kind kind = Kind::kRequests;
+    std::vector<SeqRequest> requests;  // kRequests
+    std::vector<SimTime> ticks;        // kDrainEpoch
+  };
+
+  // Counts worker arrivals at an epoch phase boundary.
+  class Gate {
+   public:
+    void Arrive();
+    void WaitFor(std::uint32_t n);  // blocks, then resets the count
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::uint32_t arrived_ = 0;
+  };
+
+  struct Shard {
+    explicit Shard(std::uint32_t queue_depth, std::uint32_t mailbox_depth)
+        : tasks(queue_depth), mailbox(mailbox_depth) {}
+
+    std::uint32_t id = 0;
+    std::unique_ptr<core::Engine> engine;
+    BoundedQueue<Task> tasks;
+    BoundedQueue<OutBatch> mailbox;
+    std::vector<OutBatch> outbox;  // staged per destination
+    ShardStats stats;
+    std::thread worker;
+
+    // Reused per-request scratch (single-writer: only this shard's worker).
+    std::vector<ViewId> overlay_scratch;
+    std::vector<ViewId> local_scratch;
+    std::vector<OutBatch> drain_batches;
+    struct DrainRef {
+      const FlatOp* op;
+      const ViewId* targets;  // the owning batch's flat target buffer
+    };
+    std::vector<DrainRef> drain_order;
+  };
+
+  void WorkerLoop(Shard& shard);
+  void ExecuteRequest(Shard& shard, const Request& request,
+                      std::uint64_t seq);
+  void FlushOutboxes(Shard& shard);
+  void DrainMailbox(Shard& shard);
+  void RunTicks(Shard& shard, std::span<const SimTime> ticks);
+
+  RuntimeResult MergeResults(double wall_seconds) const;
+
+  const graph::SocialGraph* graph_;
+  net::Topology topo_;
+  core::EngineConfig engine_config_;
+  RuntimeConfig config_;
+  ShardMap map_;
+  bool replicate_writes_ = false;
+  std::span<const wl::FlashEvent> flash_;  // valid during Run only
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Gate gate_;
+};
+
+}  // namespace dynasore::rt

@@ -1,7 +1,7 @@
 #include "workload/flash.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstddef>
 
 namespace dynasore::wl {
 
@@ -11,7 +11,6 @@ bool FlashEvent::IsFollower(UserId u) const {
 
 FlashEvent MakeFlashEvent(const graph::SocialGraph& g,
                           const FlashConfig& config, common::Rng& rng) {
-  assert(g.num_users() > config.extra_followers + 1);
   FlashEvent event;
   event.start = config.start;
   event.end = config.end;
@@ -21,7 +20,16 @@ FlashEvent MakeFlashEvent(const graph::SocialGraph& g,
   picked.reserve(config.extra_followers * 2);
   const auto existing = g.Followers(event.celebrity);
   const std::unordered_set<UserId> already(existing.begin(), existing.end());
-  while (picked.size() < config.extra_followers) {
+  // Clamp to the feasible candidate pool: on tiny (down-scaled) graphs the
+  // requested follower count can exceed the non-following users available,
+  // and the rejection sampling below would never terminate.
+  const std::size_t candidates =
+      g.num_users() > already.size() + 1
+          ? g.num_users() - 1 - already.size()
+          : 0;
+  const std::size_t target =
+      std::min<std::size_t>(config.extra_followers, candidates);
+  while (picked.size() < target) {
     const auto u = static_cast<UserId>(rng.NextBounded(g.num_users()));
     if (u == event.celebrity || already.contains(u)) continue;
     picked.insert(u);

@@ -1,0 +1,63 @@
+#include "workload/partition.h"
+
+#include <algorithm>
+
+namespace dynasore::wl {
+
+std::uint64_t ShardedRequests::total_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : indices) total += shard.size();
+  return total;
+}
+
+double ShardedRequests::balance_factor() const {
+  if (indices.empty()) return 1.0;
+  std::size_t max_shard = 0;
+  for (const auto& shard : indices) max_shard = std::max(max_shard, shard.size());
+  const double ideal = static_cast<double>(total_requests()) /
+                       static_cast<double>(indices.size());
+  return ideal > 0 ? static_cast<double>(max_shard) / ideal : 1.0;
+}
+
+ShardedRequests PartitionRequests(const RequestLog& log,
+                                  std::uint32_t num_shards,
+                                  const ShardFn& shard_of) {
+  ShardedRequests out;
+  const std::uint32_t n = num_shards == 0 ? 1 : num_shards;
+  out.indices.resize(n);
+  out.reads_per_shard.assign(n, 0);
+  out.writes_per_shard.assign(n, 0);
+  for (std::uint32_t i = 0; i < log.requests.size(); ++i) {
+    const Request& r = log.requests[i];
+    std::uint32_t s = shard_of(r.user);
+    if (s >= n) s = n - 1;
+    out.indices[s].push_back(i);
+    if (r.op == OpType::kRead) {
+      ++out.reads_per_shard[s];
+    } else {
+      ++out.writes_per_shard[s];
+    }
+  }
+  return out;
+}
+
+std::vector<EpochSlice> SliceByEpoch(const RequestLog& log,
+                                     SimTime epoch_seconds) {
+  std::vector<EpochSlice> slices;
+  if (epoch_seconds == 0) epoch_seconds = 1;
+  std::size_t i = 0;
+  const std::size_t n = log.requests.size();
+  const SimTime horizon = std::max(
+      log.duration, n == 0 ? SimTime{0} : log.requests.back().time + 1);
+  for (SimTime start = 0; start < horizon; start += epoch_seconds) {
+    const SimTime end = start + epoch_seconds;
+    EpochSlice slice;
+    slice.begin = i;
+    while (i < n && log.requests[i].time < end) ++i;
+    slice.end = i;
+    slices.push_back(slice);
+  }
+  return slices;
+}
+
+}  // namespace dynasore::wl

@@ -1,0 +1,48 @@
+// Partitionable iteration over a request log: splits a time-ordered log
+// across shards by a caller-supplied user→shard map while preserving the
+// global order through sequence numbers, and slices it into fixed epochs.
+// Tests use it to cross-check the sharded runtime's per-shard accounting
+// (no lost or duplicated requests); benches use the per-shard totals to
+// report shard balance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/request_log.h"
+
+namespace dynasore::wl {
+
+using ShardFn = std::function<std::uint32_t(UserId)>;
+
+struct ShardedRequests {
+  // indices[s] holds the ascending global request indices (== sequence
+  // numbers) owned by shard s; concatenating and sorting them recovers the
+  // original log order exactly once (no losses, no duplicates).
+  std::vector<std::vector<std::uint32_t>> indices;
+  std::vector<std::uint64_t> reads_per_shard;
+  std::vector<std::uint64_t> writes_per_shard;
+
+  std::uint64_t total_requests() const;
+  // max over shards of owned requests divided by the ideal even share;
+  // 1.0 is perfectly balanced.
+  double balance_factor() const;
+};
+
+ShardedRequests PartitionRequests(const RequestLog& log,
+                                  std::uint32_t num_shards,
+                                  const ShardFn& shard_of);
+
+// Half-open request-index ranges per epoch: slice k covers requests with
+// time in [k*epoch_seconds, (k+1)*epoch_seconds). Covers the whole log.
+struct EpochSlice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<EpochSlice> SliceByEpoch(const RequestLog& log,
+                                     SimTime epoch_seconds);
+
+}  // namespace dynasore::wl

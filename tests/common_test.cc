@@ -240,6 +240,45 @@ TEST(RunningStatsTest, MeanAndVariance) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(RunningStatsTest, MergeMatchesSequentialFeed) {
+  // Per-shard accumulators merged on demand must agree with one
+  // accumulator fed everything.
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats whole;
+  for (double x : values) whole.Add(x);
+
+  RunningStats a;
+  RunningStats b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 2 == 0 ? a : b).Add(values[i]);
+  }
+  RunningStats merged;
+  merged.Merge(a);
+  merged.Merge(b);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats empty;
+  RunningStats s;
+  s.Add(3.0);
+  s.Add(5.0);
+  RunningStats target;
+  target.Merge(empty);  // no-op
+  EXPECT_EQ(target.count(), 0u);
+  target.Merge(s);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 4.0);
+  s.Merge(empty);  // also a no-op
+  EXPECT_EQ(s.count(), 2u);
+}
+
 TEST(QuantileTest, MedianOfOddCount) {
   const std::vector<double> v{5.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);

@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generator.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/shard_map.h"
+#include "runtime/sharded_runtime.h"
+#include "sim/experiment.h"
+#include "workload/flash.h"
+#include "workload/partition.h"
+#include "workload/synthetic.h"
+
+namespace dynasore::rt {
+namespace {
+
+// ----- BoundedQueue -----
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.Pop(), i);
+}
+
+TEST(BoundedQueueTest, TryPopEmptyReturnsNothing) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(7);
+  EXPECT_EQ(q.TryPop(), 7);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, PushBlocksAtCapacityUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(2);  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  // Give the producer a chance to block (best effort, no timing assert).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksAndDrains) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(q.Pop(), 1);          // closed queues drain their remainder
+  EXPECT_FALSE(q.Pop().has_value());  // then report exhaustion
+}
+
+TEST(BoundedQueueTest, MultiProducerDeliversEverything) {
+  BoundedQueue<int> q(4);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_FALSE(seen[*item]);
+    seen[*item] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+// ----- ShardMap -----
+
+TEST(ShardMapTest, HashCoversAllShardsAndIsStable) {
+  const ShardMap map(4, 10000, ShardingMode::kHash);
+  std::vector<std::uint32_t> hits(4, 0);
+  for (UserId u = 0; u < 10000; ++u) {
+    const std::uint32_t s = map.shard_of(u);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, map.shard_of(u));  // stable
+    ++hits[s];
+  }
+  for (std::uint32_t h : hits) EXPECT_GT(h, 2000u);  // roughly even
+}
+
+TEST(ShardMapTest, RangeIsContiguousAndClampsTail) {
+  const ShardMap map(4, 10, ShardingMode::kRange);  // blocks of 3
+  EXPECT_EQ(map.shard_of(0), 0u);
+  EXPECT_EQ(map.shard_of(2), 0u);
+  EXPECT_EQ(map.shard_of(3), 1u);
+  EXPECT_EQ(map.shard_of(9), 3u);
+  EXPECT_EQ(map.shard_of(11), 3u);  // past the end clamps to the last shard
+}
+
+// ----- Fixtures -----
+
+graph::SocialGraph TestGraph(std::uint32_t users = 1200) {
+  graph::GraphGenConfig config;
+  config.num_users = users;
+  config.links_per_user = 8.0;
+  config.seed = 7;
+  return GenerateCommunityGraph(config);
+}
+
+wl::RequestLog TestLog(const graph::SocialGraph& g, double days = 1.0) {
+  wl::SyntheticLogConfig config;
+  config.days = days;
+  config.seed = 11;
+  return GenerateSyntheticLog(g, config);
+}
+
+sim::ExperimentConfig BaseConfig(bool adaptive) {
+  sim::ExperimentConfig config;
+  config.policy = adaptive ? sim::Policy::kDynaSoRe : sim::Policy::kRandom;
+  config.extra_memory_pct = 50;
+  config.seed = 5;
+  return config;
+}
+
+struct RuntimeFixture {
+  net::Topology topo;
+  place::PlacementResult placement;
+  core::EngineConfig engine;
+};
+
+RuntimeFixture MakeFixture(const graph::SocialGraph& g,
+                           const sim::ExperimentConfig& config) {
+  RuntimeFixture fx{sim::MakeTopology(config.cluster), {}, config.engine};
+  fx.engine.store.capacity_views = sim::CapacityPerServer(
+      g.num_users(), fx.topo.num_servers(), config.extra_memory_pct);
+  fx.engine.adaptive = config.policy == sim::Policy::kDynaSoRe;
+  fx.placement = sim::MakeInitialPlacement(
+      g, fx.topo, fx.engine.store.capacity_views, config);
+  return fx;
+}
+
+RuntimeResult RunSharded(const graph::SocialGraph& g,
+                         const wl::RequestLog& log, bool adaptive,
+                         RuntimeConfig rt_config,
+                         std::span<const wl::FlashEvent> flash = {}) {
+  const sim::ExperimentConfig config = BaseConfig(adaptive);
+  const RuntimeFixture fx = MakeFixture(g, config);
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  return runtime.Run(log, flash);
+}
+
+void ExpectCountersEq(const core::EngineCounters& a,
+                      const core::EngineCounters& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.view_reads, b.view_reads);
+  EXPECT_EQ(a.replica_updates, b.replica_updates);
+  EXPECT_EQ(a.replicas_created, b.replicas_created);
+  EXPECT_EQ(a.replicas_dropped, b.replicas_dropped);
+  EXPECT_EQ(a.evictions_watermark, b.evictions_watermark);
+  EXPECT_EQ(a.drops_negative, b.drops_negative);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.read_proxy_migrations, b.read_proxy_migrations);
+  EXPECT_EQ(a.write_proxy_migrations, b.write_proxy_migrations);
+  EXPECT_EQ(a.crash_rebuilds, b.crash_rebuilds);
+}
+
+// ----- Single-shard equivalence with the sequential engine -----
+
+TEST(ShardedRuntimeTest, OneShardInlineMatchesSequentialExactly) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/true));
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 1;
+  rt_config.spawn_threads = false;  // deterministic inline fallback
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/true, rt_config);
+
+  ExpectCountersEq(result.counters, sequential.counters);
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+}
+
+TEST(ShardedRuntimeTest, OneShardThreadedMatchesSequentialExactly) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/true));
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 1;
+  rt_config.spawn_threads = true;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/true, rt_config);
+
+  ExpectCountersEq(result.counters, sequential.counters);
+}
+
+TEST(ShardedRuntimeTest, OneShardStaticMatchesSequentialTraffic) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/false));
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 1;
+  rt_config.spawn_threads = false;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/false, rt_config);
+
+  ExpectCountersEq(result.counters, sequential.counters);
+  // With one shard the traffic recorder sees the identical message stream.
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(result.traffic_app[tier]),
+                     sequential.full_run[tier].app);
+    EXPECT_DOUBLE_EQ(static_cast<double>(result.traffic_sys[tier]),
+                     sequential.full_run[tier].sys);
+  }
+}
+
+TEST(ShardedRuntimeTest, NonDivisorEpochIsRoundedAndStaysExact) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/true));
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 1;
+  rt_config.spawn_threads = false;
+  rt_config.epoch_seconds = 1000;  // not a divisor of 3600: rounds to 900
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/true, rt_config);
+
+  ExpectCountersEq(result.counters, sequential.counters);
+}
+
+// ----- Multi-shard conservation -----
+
+TEST(ShardedRuntimeTest, FourShardStaticConservesAllRequestWork) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/false));
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 4;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/false, rt_config);
+
+  // Every request executed exactly once...
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+  EXPECT_EQ(result.counters.reads, log.num_reads);
+  EXPECT_EQ(result.counters.writes, log.num_writes);
+  // ...and every view fetch and replica update accounted exactly once (the
+  // static replica sets are identical on every shard engine).
+  EXPECT_EQ(result.counters.view_reads, sequential.counters.view_reads);
+  EXPECT_EQ(result.counters.replica_updates,
+            sequential.counters.replica_updates);
+}
+
+TEST(ShardedRuntimeTest, FourShardAdaptiveConservesRequests) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/true));
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 4;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/true, rt_config);
+
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+  EXPECT_EQ(result.counters.reads, log.num_reads);
+  EXPECT_EQ(result.counters.writes, log.num_writes);
+  // view_reads counts one fetch per expanded target, wherever it executes;
+  // adaptation moves replicas but never changes the target count.
+  EXPECT_EQ(result.counters.view_reads, sequential.counters.view_reads);
+
+  // Per-shard ownership matches the partitionable workload iteration.
+  const ShardMap map(4, g.num_users(), ShardingMode::kHash);
+  const wl::ShardedRequests partition = wl::PartitionRequests(
+      log, 4, [&](UserId u) { return map.shard_of(u); });
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(result.shard_stats[s].requests, partition.indices[s].size());
+    EXPECT_EQ(result.shard_stats[s].reads, partition.reads_per_shard[s]);
+    EXPECT_EQ(result.shard_stats[s].writes, partition.writes_per_shard[s]);
+  }
+}
+
+TEST(ShardedRuntimeTest, RangeShardingConservesToo) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 3;
+  rt_config.sharding = ShardingMode::kRange;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/false, rt_config);
+
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+  EXPECT_EQ(result.counters.reads, log.num_reads);
+  EXPECT_EQ(result.counters.writes, log.num_writes);
+}
+
+TEST(ShardedRuntimeTest, TinyQueueDepthStillCompletes) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 4;
+  rt_config.queue_depth = 2;  // heavy backpressure
+  rt_config.batch_size = 16;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/false, rt_config);
+
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+}
+
+TEST(ShardedRuntimeTest, ThreadedRunsAreDeterministic) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 4;
+  const RuntimeResult a = RunSharded(g, log, /*adaptive=*/true, rt_config);
+  const RuntimeResult b = RunSharded(g, log, /*adaptive=*/true, rt_config);
+
+  ExpectCountersEq(a.counters, b.counters);
+  ASSERT_EQ(a.shard_counters.size(), b.shard_counters.size());
+  for (std::size_t s = 0; s < a.shard_counters.size(); ++s) {
+    ExpectCountersEq(a.shard_counters[s], b.shard_counters[s]);
+  }
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    EXPECT_EQ(a.traffic_app[tier], b.traffic_app[tier]);
+    EXPECT_EQ(a.traffic_sys[tier], b.traffic_sys[tier]);
+  }
+}
+
+TEST(ShardedRuntimeTest, InlineFallbackMatchesThreadedShards) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  RuntimeConfig threaded;
+  threaded.num_shards = 3;
+  RuntimeConfig inline_cfg = threaded;
+  inline_cfg.spawn_threads = false;
+
+  const RuntimeResult a = RunSharded(g, log, /*adaptive=*/true, threaded);
+  const RuntimeResult b = RunSharded(g, log, /*adaptive=*/true, inline_cfg);
+
+  ExpectCountersEq(a.counters, b.counters);
+  for (std::size_t s = 0; s < a.shard_counters.size(); ++s) {
+    ExpectCountersEq(a.shard_counters[s], b.shard_counters[s]);
+  }
+}
+
+TEST(ShardedRuntimeTest, PayloadModeReplicatesWritesForCoherence) {
+  const auto g = TestGraph(400);
+  const auto log = TestLog(g, 0.5);
+
+  sim::ExperimentConfig config = BaseConfig(/*adaptive=*/false);
+  config.engine.store.payload_mode = true;
+  const RuntimeFixture fx = MakeFixture(g, config);
+
+  persist::PersistentStore persist;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    persist.Append({u, 0, "seed"});
+  }
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 2;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  runtime.AttachPersistentStore(&persist);
+  const RuntimeResult result = runtime.Run(log);
+
+  // Every write is applied on the owner and replicated to the other shard.
+  EXPECT_EQ(result.counters.writes, log.num_writes);
+  EXPECT_EQ(result.totals.remote_write_applies, log.num_writes);
+
+  // Both shard engines hold the persistent store's current version of a
+  // written view, wherever its replica lives.
+  UserId writer = kInvalidView;
+  for (const Request& r : log.requests) {
+    if (r.op == OpType::kWrite) {
+      writer = r.user;
+      break;
+    }
+  }
+  ASSERT_NE(writer, kInvalidView);
+  const auto expect = persist.FetchView(writer);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    core::Engine& engine = runtime.shard_engine(s);
+    const ServerId holder = engine.registry().info(writer).replicas.front();
+    const store::ViewData* data = engine.server(holder).FindData(writer);
+    ASSERT_NE(data, nullptr);
+    ASSERT_EQ(data->events().size(), expect.size());
+    EXPECT_EQ(data->events().front().payload, expect.front().payload);
+  }
+}
+
+TEST(ShardedRuntimeTest, FlashOverlayConservesViewReads) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  common::Rng rng(13);
+  wl::FlashConfig flash_config;
+  flash_config.start = 4 * kSecondsPerHour;
+  flash_config.end = 20 * kSecondsPerHour;
+  const wl::FlashEvent flash = MakeFlashEvent(g, flash_config, rng);
+  const std::vector<wl::FlashEvent> events{flash};
+
+  sim::ExperimentConfig config = BaseConfig(/*adaptive=*/true);
+  sim::RunOptions options;
+  options.flash = events;
+  sim::Simulator simulator(g, config);
+  const sim::SimResult sequential = simulator.Run(log, options);
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 2;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/true, rt_config, events);
+
+  EXPECT_EQ(result.counters.reads, sequential.counters.reads);
+  EXPECT_EQ(result.counters.writes, sequential.counters.writes);
+  EXPECT_EQ(result.counters.view_reads, sequential.counters.view_reads);
+}
+
+}  // namespace
+}  // namespace dynasore::rt

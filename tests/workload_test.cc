@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "graph/generator.h"
 #include "graph/presets.h"
 #include "workload/flash.h"
+#include "workload/partition.h"
 #include "workload/request_log.h"
 #include "workload/synthetic.h"
 #include "workload/trace.h"
@@ -195,6 +197,22 @@ TEST(FlashTest, AddsRequestedFollowers) {
   EXPECT_TRUE(std::is_sorted(event.followers.begin(), event.followers.end()));
 }
 
+TEST(FlashTest, ClampsToAvailableUsersOnTinyGraphs) {
+  // Asking for more flash followers than the graph has users must clamp to
+  // the feasible pool instead of rejection-sampling forever.
+  graph::GraphGenConfig tiny;
+  tiny.num_users = 40;
+  tiny.links_per_user = 4.0;
+  tiny.seed = 2;
+  const auto g = GenerateCommunityGraph(tiny);
+  common::Rng rng(9);
+  FlashConfig config;
+  config.extra_followers = 100;  // > num_users
+  const FlashEvent event = MakeFlashEvent(g, config, rng);
+  EXPECT_LT(event.followers.size(), g.num_users());
+  for (UserId u : event.followers) EXPECT_NE(u, event.celebrity);
+}
+
 TEST(FlashTest, FollowersAreFreshAndNotTheCelebrity) {
   const auto g = TestGraph();
   common::Rng rng(5);
@@ -246,6 +264,60 @@ INSTANTIATE_TEST_SUITE_P(
     RatiosAndDurations, SyntheticRatioTest,
     ::testing::Values(std::tuple{1.0, 4.0}, std::tuple{2.0, 4.0},
                       std::tuple{3.0, 2.0}, std::tuple{0.5, 8.0}));
+
+// ----- Partitionable request iteration -----
+
+TEST(PartitionTest, ConservesEveryRequestExactlyOnce) {
+  const auto g = TestGraph();
+  const RequestLog log = GenerateSyntheticLog(g, SyntheticLogConfig{});
+  const std::uint32_t shards = 4;
+  const ShardedRequests parted =
+      PartitionRequests(log, shards, [&](UserId u) { return u % shards; });
+
+  ASSERT_EQ(parted.indices.size(), shards);
+  EXPECT_EQ(parted.total_requests(), log.requests.size());
+
+  std::vector<bool> seen(log.requests.size(), false);
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    EXPECT_TRUE(std::is_sorted(parted.indices[s].begin(),
+                               parted.indices[s].end()));
+    for (std::uint32_t i : parted.indices[s]) {
+      ASSERT_LT(i, log.requests.size());
+      ASSERT_FALSE(seen[i]);  // no duplicates across shards
+      seen[i] = true;
+      EXPECT_EQ(log.requests[i].user % shards, s);  // correct owner
+    }
+    reads += parted.reads_per_shard[s];
+    writes += parted.writes_per_shard[s];
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](bool b) { return b; }));  // no losses
+  EXPECT_EQ(reads, log.num_reads);
+  EXPECT_EQ(writes, log.num_writes);
+  EXPECT_GE(parted.balance_factor(), 1.0);
+}
+
+TEST(PartitionTest, SliceByEpochCoversLogInOrder) {
+  const auto g = TestGraph();
+  const RequestLog log = GenerateSyntheticLog(g, SyntheticLogConfig{});
+  const SimTime epoch = 6 * kSecondsPerHour;
+  const std::vector<EpochSlice> slices = SliceByEpoch(log, epoch);
+
+  ASSERT_FALSE(slices.empty());
+  EXPECT_EQ(slices.front().begin, 0u);
+  EXPECT_EQ(slices.back().end, log.requests.size());
+  for (std::size_t k = 0; k < slices.size(); ++k) {
+    if (k > 0) {
+      EXPECT_EQ(slices[k].begin, slices[k - 1].end);
+    }
+    for (std::size_t i = slices[k].begin; i < slices[k].end; ++i) {
+      EXPECT_GE(log.requests[i].time, k * epoch);
+      EXPECT_LT(log.requests[i].time, (k + 1) * epoch);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace dynasore::wl
