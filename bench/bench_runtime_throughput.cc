@@ -1,10 +1,21 @@
-// Serving-runtime throughput: replays the synthetic (§4.2) and flash (§4.6)
-// workloads through rt::ShardedRuntime, sweeping the shard count from 1 to
-// the hardware concurrency (always including 4), and reports ops/sec and
-// the scaling relative to the single-shard run. The static (Random
-// placement) sweep is the pure serving path; the adaptive (DynaSoRe) sweep
-// adds the per-shard adaptation machinery, whose hourly maintenance runs on
-// every shard engine and therefore scales sub-linearly by design.
+// Serving-runtime throughput and latency: replays the synthetic (§4.2) and
+// flash (§4.6) workloads through rt::ShardedRuntime, sweeping the shard
+// count from 1 to the hardware concurrency (always including 4), and
+// reports ops/sec, scaling relative to the single-shard run, and
+// per-request latency percentiles (p50/p99/p999 of the completion
+// distribution plus the p99 freshness of remotely served slices). The
+// static (Random placement) sweep is the pure serving path; the adaptive
+// (DynaSoRe) sweep adds the per-shard adaptation machinery, whose hourly
+// maintenance runs on every shard engine and therefore scales sub-linearly
+// by design.
+//
+// A second section compares the communication plane at a fixed 4 shards:
+// the mutex transport with epoch drains (the original path), lock-free SPSC
+// rings with epoch drains (bit-identical results, cheaper handoff), and
+// SPSC rings with the eager sub-epoch drain (serves remote slices as soon
+// as they age past the staleness bound — collapsing the freshness tail the
+// epoch drain hides). Each configuration runs with the persistent store's
+// payload mode off and on, measuring the replicated-write coherence path.
 //
 // Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME
 // --csv-dir=PATH. Extra environment knob: RUNTIME_MAX_SHARDS caps the
@@ -19,6 +30,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "persist/persistent_store.h"
 #include "runtime/sharded_runtime.h"
 #include "sim/experiment.h"
 #include "workload/flash.h"
@@ -28,6 +40,13 @@ using namespace dynasore;
 using bench::BenchArgs;
 
 namespace {
+
+// `section` disambiguates the two report shapes: "sweep" rows take their
+// speedup relative to the 1-shard run of the same sweep, "fabric4" rows
+// relative to the mutex+epoch baseline at the same shard count.
+constexpr char kCsvHeader[] =
+    "section,workload,mode,payload,transport,drain,shards,ops_per_sec,"
+    "speedup,p50_us,p99_us,p999_us,fresh_p99_us\n";
 
 std::vector<std::uint32_t> ShardSweep() {
   std::uint32_t max_shards =
@@ -43,72 +62,172 @@ std::vector<std::uint32_t> ShardSweep() {
   return sweep;
 }
 
-struct SweepRow {
+const char* TransportName(rt::FabricTransport t) {
+  return t == rt::FabricTransport::kMutex ? "mutex" : "spsc";
+}
+
+const char* DrainName(rt::DrainPolicy d) {
+  return d == rt::DrainPolicy::kEpoch ? "epoch" : "eager";
+}
+
+struct RunRow {
+  std::string label;  // fabric-comparison rows: "<transport>+<drain>"
   std::uint32_t shards = 0;
+  bool payload = false;
+  rt::FabricTransport transport = rt::FabricTransport::kSpsc;
+  rt::DrainPolicy drain = rt::DrainPolicy::kEpoch;
   double ops_per_sec = 0;
   double speedup = 1.0;
   double balance = 1.0;
   std::uint64_t messages = 0;
+  rt::LatencyPercentiles completion;
+  double fresh_p99_us = 0;  // p99 of remotely served slices
 };
 
-std::vector<SweepRow> RunSweep(const graph::SocialGraph& g,
-                               const wl::RequestLog& log,
-                               std::span<const wl::FlashEvent> flash,
-                               bool adaptive, const BenchArgs& args,
-                               std::span<const std::uint32_t> sweep) {
+struct WorkloadCase {
+  const graph::SocialGraph* g;
+  const wl::RequestLog* log;
+  std::span<const wl::FlashEvent> flash;
+  bool adaptive = false;
+  bool payload = false;
+  const persist::PersistentStore* persist = nullptr;
+  const BenchArgs* args;
+};
+
+RunRow RunOnce(const WorkloadCase& wc, const rt::RuntimeConfig& rt_config,
+               double* balance_out = nullptr) {
   sim::ExperimentConfig config;
-  config.policy = adaptive ? sim::Policy::kDynaSoRe : sim::Policy::kRandom;
+  config.policy = wc.adaptive ? sim::Policy::kDynaSoRe : sim::Policy::kRandom;
   config.extra_memory_pct = 50;
-  config.seed = args.seed;
+  config.seed = wc.args->seed;
   const net::Topology topo = sim::MakeTopology(config.cluster);
   core::EngineConfig engine = config.engine;
   engine.store.capacity_views = sim::CapacityPerServer(
-      g.num_users(), topo.num_servers(), config.extra_memory_pct);
-  engine.adaptive = adaptive;
+      wc.g->num_users(), topo.num_servers(), config.extra_memory_pct);
+  engine.adaptive = wc.adaptive;
+  engine.store.payload_mode = wc.payload;
   const place::PlacementResult placement = sim::MakeInitialPlacement(
-      g, topo, engine.store.capacity_views, config);
+      *wc.g, topo, engine.store.capacity_views, config);
 
-  std::vector<SweepRow> rows;
+  rt::ShardedRuntime runtime(*wc.g, topo, placement, engine, rt_config);
+  if (wc.payload && wc.persist != nullptr) {
+    runtime.AttachPersistentStore(wc.persist);
+  }
+  if (balance_out != nullptr) {
+    const wl::ShardedRequests parted = wl::PartitionRequests(
+        *wc.log, rt_config.num_shards,
+        [&](UserId u) { return runtime.shard_map().shard_of(u); });
+    *balance_out = parted.balance_factor();
+  }
+  const rt::RuntimeResult result = runtime.Run(*wc.log, wc.flash);
+
+  RunRow row;
+  row.shards = rt_config.num_shards;
+  row.payload = wc.payload;
+  row.transport = rt_config.transport;
+  row.drain = rt_config.drain;
+  row.ops_per_sec = result.ops_per_sec;
+  row.messages = result.totals.messages_sent;
+  row.completion = result.completion_percentiles;
+  row.fresh_p99_us = rt::SummarizeLatency(result.remote_latency).p99_us;
+  return row;
+}
+
+void AppendCsv(const char* section, const char* workload, const char* mode,
+               const RunRow& row, std::string* csv) {
+  csv->append(section).append(",");
+  csv->append(workload).append(",").append(mode).append(",");
+  csv->append(row.payload ? "on" : "off").append(",");
+  csv->append(TransportName(row.transport)).append(",");
+  csv->append(DrainName(row.drain)).append(",");
+  csv->append(std::to_string(row.shards)).append(",");
+  csv->append(common::TablePrinter::Fmt(row.ops_per_sec, 1)).append(",");
+  csv->append(common::TablePrinter::Fmt(row.speedup, 3)).append(",");
+  csv->append(common::TablePrinter::Fmt(row.completion.p50_us, 1)).append(",");
+  csv->append(common::TablePrinter::Fmt(row.completion.p99_us, 1)).append(",");
+  csv->append(common::TablePrinter::Fmt(row.completion.p999_us, 1))
+      .append(",");
+  csv->append(common::TablePrinter::Fmt(row.fresh_p99_us, 1)).append("\n");
+}
+
+void PrintSweep(const char* workload, const char* mode,
+                const std::vector<RunRow>& rows, std::string* csv) {
+  std::printf("-- %s workload, %s engine --\n", workload, mode);
+  common::TablePrinter table({"shards", "ops/sec", "speedup vs 1", "balance",
+                              "msgs", "p50_us", "p99_us", "fresh_p99_us"});
+  for (const RunRow& row : rows) {
+    table.AddRow({common::TablePrinter::Fmt(std::uint64_t{row.shards}),
+                  common::TablePrinter::Fmt(row.ops_per_sec, 0),
+                  common::TablePrinter::Fmt(row.speedup, 2),
+                  common::TablePrinter::Fmt(row.balance, 3),
+                  common::TablePrinter::Fmt(row.messages),
+                  common::TablePrinter::Fmt(row.completion.p50_us, 1),
+                  common::TablePrinter::Fmt(row.completion.p99_us, 1),
+                  common::TablePrinter::Fmt(row.fresh_p99_us, 1)});
+    AppendCsv("sweep", workload, mode, row, csv);
+  }
+  table.Print();
+}
+
+std::vector<RunRow> RunSweep(WorkloadCase wc,
+                             std::span<const std::uint32_t> sweep) {
+  std::vector<RunRow> rows;
   for (std::uint32_t shards : sweep) {
     rt::RuntimeConfig rt_config;
     rt_config.num_shards = shards;
-    rt::ShardedRuntime runtime(g, topo, placement, engine, rt_config);
-    const wl::ShardedRequests parted = wl::PartitionRequests(
-        log, shards,
-        [&](UserId u) { return runtime.shard_map().shard_of(u); });
-    const rt::RuntimeResult result = runtime.Run(log, flash);
-
-    SweepRow row;
-    row.shards = shards;
-    row.ops_per_sec = result.ops_per_sec;
+    double balance = 1.0;
+    RunRow row = RunOnce(wc, rt_config, &balance);
+    row.balance = balance;
     row.speedup =
-        rows.empty() ? 1.0 : result.ops_per_sec / rows.front().ops_per_sec;
-    row.balance = parted.balance_factor();
-    row.messages = result.totals.messages_sent;
+        rows.empty() ? 1.0 : row.ops_per_sec / rows.front().ops_per_sec;
     rows.push_back(row);
   }
   return rows;
 }
 
-void PrintSweep(const char* workload, const char* mode,
-                const std::vector<SweepRow>& rows, const BenchArgs& args,
-                std::string* csv) {
-  std::printf("-- %s workload, %s engine --\n", workload, mode);
-  common::TablePrinter table(
-      {"shards", "ops/sec", "speedup vs 1", "balance", "msgs"});
-  for (const SweepRow& row : rows) {
-    table.AddRow({common::TablePrinter::Fmt(std::uint64_t{row.shards}),
-                  common::TablePrinter::Fmt(row.ops_per_sec, 0),
-                  common::TablePrinter::Fmt(row.speedup, 2),
-                  common::TablePrinter::Fmt(row.balance, 3),
-                  common::TablePrinter::Fmt(row.messages)});
-    csv->append(workload).append(",").append(mode).append(",");
-    csv->append(std::to_string(row.shards)).append(",");
-    csv->append(common::TablePrinter::Fmt(row.ops_per_sec, 1)).append(",");
-    csv->append(common::TablePrinter::Fmt(row.speedup, 3)).append("\n");
+// The fixed-shard fabric comparison: transports x drain policies, payload
+// off/on. The first row (mutex+epoch, the original path) is the speedup
+// baseline.
+void RunFabricComparison(WorkloadCase wc, std::uint32_t shards,
+                         std::string* csv) {
+  struct Config {
+    rt::FabricTransport transport;
+    rt::DrainPolicy drain;
+  };
+  const Config configs[] = {
+      {rt::FabricTransport::kMutex, rt::DrainPolicy::kEpoch},
+      {rt::FabricTransport::kSpsc, rt::DrainPolicy::kEpoch},
+      {rt::FabricTransport::kSpsc, rt::DrainPolicy::kEager},
+  };
+
+  std::printf("-- fabric comparison: %u shards, synthetic workload, static "
+              "engine --\n", shards);
+  common::TablePrinter table({"fabric", "payload", "ops/sec", "speedup",
+                              "p50_us", "p99_us", "p999_us", "fresh_p99_us"});
+  double baseline = 0;
+  for (const bool payload : {false, true}) {
+    wc.payload = payload;
+    for (const Config& c : configs) {
+      rt::RuntimeConfig rt_config;
+      rt_config.num_shards = shards;
+      rt_config.transport = c.transport;
+      rt_config.drain = c.drain;
+      RunRow row = RunOnce(wc, rt_config);
+      row.label = std::string(TransportName(c.transport)) + "+" +
+                  DrainName(c.drain);
+      if (baseline == 0) baseline = row.ops_per_sec;
+      row.speedup = baseline > 0 ? row.ops_per_sec / baseline : 1.0;
+      table.AddRow({row.label, payload ? "on" : "off",
+                    common::TablePrinter::Fmt(row.ops_per_sec, 0),
+                    common::TablePrinter::Fmt(row.speedup, 2),
+                    common::TablePrinter::Fmt(row.completion.p50_us, 1),
+                    common::TablePrinter::Fmt(row.completion.p99_us, 1),
+                    common::TablePrinter::Fmt(row.completion.p999_us, 1),
+                    common::TablePrinter::Fmt(row.fresh_p99_us, 1)});
+      AppendCsv("fabric4", "synthetic", "static", row, csv);
+    }
   }
   table.Print();
-  (void)args;
 }
 
 }  // namespace
@@ -140,22 +259,33 @@ int main(int argc, char** argv) {
   const wl::FlashEvent flash = wl::MakeFlashEvent(g, flash_config, rng);
   const std::vector<wl::FlashEvent> flash_events{flash};
 
-  std::string csv = "workload,mode,shards,ops_per_sec,speedup\n";
-  PrintSweep("synthetic", "static",
-             RunSweep(g, log, {}, /*adaptive=*/false, args, sweep), args,
+  // Payload-mode runs fetch post contents from the persistent store; seed
+  // one event per user so every coherence fan-out carries a real version.
+  persist::PersistentStore persist;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    persist.Append({u, 0, "seed"});
+  }
+
+  std::string csv = kCsvHeader;
+  const auto sweep_case = [&](std::span<const wl::FlashEvent> fl,
+                              bool adaptive) {
+    return WorkloadCase{&g, &log, fl, adaptive, /*payload=*/false, &persist,
+                        &args};
+  };
+  PrintSweep("synthetic", "static", RunSweep(sweep_case({}, false), sweep),
              &csv);
   std::printf("\n");
-  PrintSweep("synthetic", "adaptive",
-             RunSweep(g, log, {}, /*adaptive=*/true, args, sweep), args,
+  PrintSweep("synthetic", "adaptive", RunSweep(sweep_case({}, true), sweep),
              &csv);
   std::printf("\n");
-  PrintSweep("flash", "static",
-             RunSweep(g, log, flash_events, /*adaptive=*/false, args, sweep),
-             args, &csv);
+  PrintSweep("flash", "static", RunSweep(sweep_case(flash_events, false), sweep),
+             &csv);
   std::printf("\n");
   PrintSweep("flash", "adaptive",
-             RunSweep(g, log, flash_events, /*adaptive=*/true, args, sweep),
-             args, &csv);
+             RunSweep(sweep_case(flash_events, true), sweep), &csv);
+  std::printf("\n");
+
+  RunFabricComparison(sweep_case({}, false), /*shards=*/4, &csv);
 
   bench::SaveCsv(args, "runtime_throughput", csv);
   return 0;

@@ -1,0 +1,55 @@
+#include "common/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dynasore::common {
+
+std::size_t LatencyHistogram::BucketOf(std::uint64_t v) {
+  constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  if (v < kSub) return static_cast<std::size_t>(v);
+  const int exp = std::bit_width(v) - 1;  // 2^exp <= v < 2^(exp+1)
+  const std::uint64_t sub = (v >> (exp - kSubBits)) & (kSub - 1);
+  return ((static_cast<std::size_t>(exp) - kSubBits + 1) << kSubBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::BucketUpper(std::size_t i) {
+  constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  if (i < kSub) return i;
+  const int exp = static_cast<int>(i >> kSubBits) + kSubBits - 1;
+  if (exp >= 63) return ~std::uint64_t{0};  // ~292 years in ns; unreachable
+  const std::uint64_t sub = i & (kSub - 1);
+  return ((kSub + sub + 1) << (exp - kSubBits)) - 1;
+}
+
+void LatencyHistogram::Add(std::uint64_t nanos) {
+  ++buckets_[BucketOf(nanos)];
+  ++count_;
+  sum_ += nanos;
+  max_ = std::max(max_, nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) return std::min(BucketUpper(i), max_);
+  }
+  return max_;
+}
+
+}  // namespace dynasore::common

@@ -1,0 +1,57 @@
+// Log-bucketed latency histogram for runtime-native latency accounting.
+//
+// Values (nanoseconds) land in HDR-style buckets: exact below 2^kSubBits,
+// then 2^kSubBits sub-buckets per power of two, bounding the relative
+// quantile error at 1/2^kSubBits (12.5% with kSubBits = 3) while keeping the
+// whole histogram a flat 4 KB array that merges with a vector add.
+//
+// Thread-safety: single-writer like the rest of common/stats.h. The sharded
+// runtime keeps one histogram per shard and combines them after the run with
+// Merge — never by sharing one instance across threads.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dynasore::common {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;  // sub-buckets per octave = 8
+  static constexpr std::size_t kNumBuckets = (64 - kSubBits + 1) << kSubBits;
+
+  void Add(std::uint64_t nanos);
+
+  // Folds another histogram into this one (per-shard accumulators merged on
+  // demand, like RunningStats::Merge). Exact: bucket counts, count, sum and
+  // max all add/combine losslessly.
+  void Merge(const LatencyHistogram& other);
+
+  // Upper bound of the q-quantile (q in [0, 1]) in nanoseconds; 0 when
+  // empty. Error is bounded by the bucket width (<= 12.5% of the value).
+  std::uint64_t Percentile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_[i]; }
+
+  // Bucket mapping, exposed for tests: BucketOf(v) is the index v lands in,
+  // BucketUpper(i) the largest value bucket i holds.
+  static std::size_t BucketOf(std::uint64_t v);
+  static std::uint64_t BucketUpper(std::size_t i);
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dynasore::common

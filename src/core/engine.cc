@@ -54,10 +54,12 @@ void Engine::ExecuteRead(UserId reader, std::span<const ViewId> targets,
   ExecuteReadPartial(reader, targets, t, /*count_request=*/true, feed_out);
 }
 
-void Engine::ExecuteReadPartial(UserId reader, std::span<const ViewId> targets,
-                                SimTime t, bool count_request,
-                                std::vector<store::Event>* feed_out) {
+std::uint32_t Engine::ExecuteReadPartial(UserId reader,
+                                         std::span<const ViewId> targets,
+                                         SimTime t, bool count_request,
+                                         std::vector<store::Event>* feed_out) {
   if (count_request) ++counters_.reads;
+  std::uint32_t round_trips = 0;
   const BrokerId broker = registry_.info(reader).read_proxy;
   const RackId broker_rack = topo_->rack_of_broker(broker);
 
@@ -97,6 +99,9 @@ void Engine::ExecuteReadPartial(UserId reader, std::span<const ViewId> targets,
                                config_.traffic.app_msg_size,
                                net::MsgClass::kApp, t);
     }
+    round_trips = static_cast<std::uint32_t>(unique_servers.size());
+  } else {
+    round_trips = static_cast<std::uint32_t>(targets.size());
   }
 
   // Proxy placement belongs to the request's owner: a remotely applied
@@ -107,6 +112,7 @@ void Engine::ExecuteReadPartial(UserId reader, std::span<const ViewId> targets,
       !targets.empty()) {
     MaybeMigrateReadProxy(reader, accessed_scratch_, t);
   }
+  return round_trips;
 }
 
 void Engine::ExecuteWrite(UserId writer, SimTime t) {

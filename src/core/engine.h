@@ -102,9 +102,16 @@ class Engine {
   // shard owning the reader passes true exactly once; shards serving remote
   // target slices pass false. ExecuteRead == ExecuteReadPartial with
   // count_request=true.
-  void ExecuteReadPartial(UserId reader, std::span<const ViewId> targets,
-                          SimTime t, bool count_request,
-                          std::vector<store::Event>* feed_out = nullptr);
+  //
+  // Returns the slice's serving cost in application round-trips: one per
+  // target fetched, or one per distinct server contacted when
+  // traffic.batch_per_server is set. The sharded runtime uses this to
+  // attribute per-slice cost (and pair it with the slice's dispatch
+  // timestamp) without reaching into the traffic recorder.
+  std::uint32_t ExecuteReadPartial(UserId reader,
+                                   std::span<const ViewId> targets, SimTime t,
+                                   bool count_request,
+                                   std::vector<store::Event>* feed_out = nullptr);
 
   // Applies a write that was executed (counted and traffic-charged) on
   // another shard's engine: refreshes this engine's replica write statistics

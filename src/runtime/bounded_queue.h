@@ -73,6 +73,11 @@ class BoundedQueue {
     return items_.size();
   }
 
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
   std::size_t capacity() const { return capacity_; }
 
  private:

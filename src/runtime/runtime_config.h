@@ -4,38 +4,73 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "runtime/fabric.h"
 #include "runtime/shard_map.h"
 
 namespace dynasore::rt {
 
+// When cross-shard work is applied on its destination shard.
+enum class DrainPolicy : std::uint8_t {
+  // Deterministic: channels drain only at epoch boundaries, in global
+  // sequence order. Results are byte-identical across runs, shard counts,
+  // transports, and the inline fallback.
+  kEpoch,
+  // Opportunistic: workers additionally poll their inbound channels between
+  // request batches and serve remote slices whose age exceeds
+  // staleness_micros, trading strict determinism for sub-epoch read
+  // freshness and lower completion latency. Conservation (every request and
+  // every slice executed exactly once) still holds.
+  kEager,
+};
+
 struct RuntimeConfig {
   // Worker shards, each backed by its own core::Engine. 1 means the
   // single-shard configuration whose counters must match the sequential
-  // engine exactly.
+  // engine exactly. Must be >= 1 (validated at construction).
   std::uint32_t num_shards = 1;
 
   // How the user/view id space maps onto shards.
   ShardingMode sharding = ShardingMode::kHash;
 
   // Task batches that may be in flight per shard queue before the
-  // dispatcher blocks (backpressure bound, in batches not requests).
+  // dispatcher blocks (backpressure bound, in batches not requests). Also
+  // sizes the fabric's per-channel capacity: the epoch protocol fully
+  // drains every channel while producers are quiescent, so queue_depth + 2
+  // batches per channel never blocks an epoch-boundary flush. Must be >= 1.
   std::uint32_t queue_depth = 64;
 
   // Requests per task batch pushed into a shard queue. Batching amortizes
-  // the queue lock; the engine work per request dwarfs it at this size.
+  // the queue handoff; the engine work per request dwarfs it at this size.
+  // Must be >= 1 (validated at construction).
   std::uint32_t batch_size = 128;
 
-  // Epoch length in simulated seconds: cross-shard mailboxes are drained
-  // and engine ticks fire only at epoch boundaries. Must divide the
+  // Epoch length in simulated seconds: cross-shard channels are fully
+  // drained and engine ticks fire at epoch boundaries. Must divide the
   // engine's slot_seconds so tick times land on boundaries; 0 means "one
   // epoch per engine slot". Values that do not divide slot_seconds are
-  // rounded down to the nearest divisor.
+  // rounded down to the nearest divisor; a value that rounds down to 0
+  // (only possible when the engine's slot_seconds is 0) is rejected at
+  // construction.
   SimTime epoch_seconds = 0;
+
+  // Cross-shard transport: lock-free SPSC rings (the default) or the
+  // original mutex-guarded queues. Under DrainPolicy::kEpoch both produce
+  // bit-for-bit identical results.
+  FabricTransport transport = FabricTransport::kSpsc;
+
+  // See DrainPolicy.
+  DrainPolicy drain = DrainPolicy::kEpoch;
+
+  // kEager only: minimum wall-clock age (microseconds) of a channel's
+  // oldest pending op before a mid-epoch poll serves it. 0 serves remote
+  // slices as soon as a poll observes them; a large bound degenerates to
+  // kEpoch behavior (everything waits for the boundary drain).
+  std::uint64_t staleness_micros = 0;
 
   // false selects the deterministic inline fallback: the same epoch state
   // machine executed on the calling thread, shard by shard, with no threads
   // or locks involved. Produces byte-identical results to the threaded
-  // path (which is itself deterministic by construction).
+  // path under kEpoch (which is itself deterministic by construction).
   bool spawn_threads = true;
 };
 

@@ -3,8 +3,42 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
+#include <thread>
 
 namespace dynasore::rt {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Epoch boundaries must be a superset of tick times so ticks fire in the
+// same position relative to requests as in the sequential replay: round
+// the requested epoch down to a divisor of slot_seconds.
+SimTime RoundEpochToSlotDivisor(SimTime requested, SimTime slot) {
+  SimTime epoch = requested == 0 ? slot : std::min(requested, slot);
+  while (epoch > 0 && slot % epoch != 0) --epoch;
+  return epoch;
+}
+
+}  // namespace
+
+LatencyPercentiles SummarizeLatency(const common::LatencyHistogram& h) {
+  LatencyPercentiles p;
+  p.samples = h.count();
+  p.p50_us = static_cast<double>(h.Percentile(0.50)) / 1000.0;
+  p.p90_us = static_cast<double>(h.Percentile(0.90)) / 1000.0;
+  p.p99_us = static_cast<double>(h.Percentile(0.99)) / 1000.0;
+  p.p999_us = static_cast<double>(h.Percentile(0.999)) / 1000.0;
+  p.mean_us = h.mean() / 1000.0;
+  p.max_us = static_cast<double>(h.max()) / 1000.0;
+  return p;
+}
 
 // ----- Gate -----
 
@@ -34,6 +68,30 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
       engine_config_(engine_config),
       config_(config),
       map_(config.num_shards, g.num_users(), config.sharding) {
+  if (config.num_shards == 0) {
+    throw std::invalid_argument(
+        "RuntimeConfig::num_shards must be at least 1 (0 shards cannot own "
+        "the id space)");
+  }
+  if (config.queue_depth == 0) {
+    throw std::invalid_argument(
+        "RuntimeConfig::queue_depth must be at least 1 (the dispatcher needs "
+        "one in-flight task batch per shard)");
+  }
+  if (config.batch_size == 0) {
+    throw std::invalid_argument(
+        "RuntimeConfig::batch_size must be at least 1 (0 requests per task "
+        "batch would never flush)");
+  }
+  epoch_ = RoundEpochToSlotDivisor(config.epoch_seconds,
+                                   engine_config.slot_seconds);
+  if (epoch_ == 0) {
+    throw std::invalid_argument(
+        "RuntimeConfig::epoch_seconds rounds down to 0: the engine's "
+        "slot_seconds must be positive so epoch boundaries can align with "
+        "ticks");
+  }
+
   // Shard engines maintain only their owned partition (see
   // SetMaintenanceOwner below), so a non-owner engine never consults a
   // view's write statistics — the coherence fan-out is only needed when
@@ -42,12 +100,16 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
       map_.num_shards() > 1 && engine_config_.store.payload_mode;
 
   const std::uint32_t n = map_.num_shards();
-  // A mailbox holds at most one batch per peer per epoch (it is fully
-  // drained before the next epoch starts), so capacity n never blocks.
-  const std::uint32_t queue_depth = std::max(config_.queue_depth, 1u);
+  // Channel sizing: under kEpoch each (src, dst) channel holds at most one
+  // batch between boundary drains. Under kEager a producer ships at most
+  // one batch per task it executes, and at most queue_depth tasks are in
+  // flight per shard, so queue_depth + 2 batches per channel lets every
+  // epoch-boundary flush succeed without waiting; overflow between drains
+  // simply keeps coalescing in the producer's outbox.
+  fabric_ = MakeFabric(config_.transport, n, config_.queue_depth + 2);
   shards_.reserve(n);
   for (std::uint32_t s = 0; s < n; ++s) {
-    auto shard = std::make_unique<Shard>(queue_depth, n);
+    auto shard = std::make_unique<Shard>(config_.queue_depth);
     shard->id = s;
     shard->engine =
         std::make_unique<core::Engine>(topo_, initial, engine_config_);
@@ -65,7 +127,6 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
 ShardedRuntime::~ShardedRuntime() {
   for (auto& shard : shards_) {
     shard->tasks.Close();
-    shard->mailbox.Close();
     if (shard->worker.joinable()) shard->worker.join();
   }
 }
@@ -82,8 +143,8 @@ core::Engine& ShardedRuntime::shard_engine(std::uint32_t shard) {
 // ----- Per-shard execution (runs on the shard's worker thread, or on the
 // calling thread in the inline fallback; either way single-writer) -----
 
-void ShardedRuntime::ExecuteRequest(Shard& shard, const Request& request,
-                                    std::uint64_t seq) {
+void ShardedRuntime::ExecuteRequest(Shard& shard, const SeqRequest& sr) {
+  const Request& request = sr.request;
   ++shard.stats.requests;
   core::Engine& engine = *shard.engine;
   const std::uint32_t n = map_.num_shards();
@@ -94,92 +155,111 @@ void ShardedRuntime::ExecuteRequest(Shard& shard, const Request& request,
     if (replicate_writes_) {
       for (std::uint32_t d = 0; d < n; ++d) {
         if (d == shard.id) continue;
-        shard.outbox[d].ops.push_back(
-            FlatOp{seq, request.time, request.user, OpType::kWrite, 0, 0});
+        shard.outbox[d].batch.ops.push_back(FlatOp{
+            sr.seq, sr.dispatch_ns, request.time, request.user, OpType::kWrite,
+            0, 0});
         ++shard.stats.messages_sent;
       }
     }
-    return;
-  }
-
-  ++shard.stats.reads;
-  // Target expansion matches sim::Simulator::Run: the reader's followees,
-  // plus the celebrity of every active flash event the reader follows.
-  const auto followees = graph_->Followees(request.user);
-  std::span<const ViewId> targets = followees;
-  bool overlaid = false;
-  for (const wl::FlashEvent& flash : flash_) {
-    if (flash.ActiveAt(request.time) && flash.IsFollower(request.user)) {
-      if (!overlaid) {
-        shard.overlay_scratch.assign(followees.begin(), followees.end());
-        overlaid = true;
+  } else {
+    ++shard.stats.reads;
+    // Target expansion matches sim::Simulator::Run: the reader's followees,
+    // plus the celebrity of every active flash event the reader follows.
+    const auto followees = graph_->Followees(request.user);
+    std::span<const ViewId> targets = followees;
+    bool overlaid = false;
+    for (const wl::FlashEvent& flash : flash_) {
+      if (flash.ActiveAt(request.time) && flash.IsFollower(request.user)) {
+        if (!overlaid) {
+          shard.overlay_scratch.assign(followees.begin(), followees.end());
+          overlaid = true;
+        }
+        shard.overlay_scratch.push_back(flash.celebrity);
       }
-      shard.overlay_scratch.push_back(flash.celebrity);
     }
-  }
-  if (overlaid) targets = shard.overlay_scratch;
+    if (overlaid) targets = shard.overlay_scratch;
 
-  if (n == 1) {
-    engine.ExecuteReadPartial(request.user, targets, request.time,
-                              /*count_request=*/true);
-    return;
+    if (n == 1) {
+      engine.ExecuteReadPartial(request.user, targets, request.time,
+                                /*count_request=*/true);
+    } else {
+      shard.local_scratch.clear();
+      for (ViewId v : targets) {
+        const std::uint32_t owner = map_.shard_of(v);
+        if (owner == shard.id) {
+          shard.local_scratch.push_back(v);
+          continue;
+        }
+        // Append straight into the per-peer flat buffer; consecutive
+        // targets of the same request coalesce into one FlatOp (last_seq
+        // tracks that).
+        Outbox& out = shard.outbox[owner];
+        if (out.last_seq != sr.seq) {
+          out.last_seq = sr.seq;
+          out.batch.ops.push_back(FlatOp{
+              sr.seq, sr.dispatch_ns, request.time, request.user,
+              OpType::kRead,
+              static_cast<std::uint32_t>(out.batch.targets.size()), 0});
+          ++shard.stats.messages_sent;
+        }
+        out.batch.targets.push_back(v);
+        ++out.batch.ops.back().target_count;
+      }
+      // The reader's owner accounts for the request exactly once, even when
+      // its local slice is empty.
+      engine.ExecuteReadPartial(request.user, shard.local_scratch,
+                                request.time, /*count_request=*/true);
+    }
   }
 
-  shard.local_scratch.clear();
-  for (ViewId v : targets) {
-    const std::uint32_t owner = map_.shard_of(v);
-    if (owner == shard.id) {
-      shard.local_scratch.push_back(v);
-      continue;
-    }
-    // Append straight into the per-peer flat buffer; consecutive targets of
-    // the same request coalesce into one FlatOp (last_seq tracks that).
-    OutBatch& out = shard.outbox[owner];
-    if (out.last_seq != seq) {
-      out.last_seq = seq;
-      out.ops.push_back(FlatOp{seq, request.time, request.user, OpType::kRead,
-                               static_cast<std::uint32_t>(out.targets.size()),
-                               0});
-      ++shard.stats.messages_sent;
-    }
-    out.targets.push_back(v);
-    ++out.ops.back().target_count;
-  }
-  // The reader's owner accounts for the request exactly once, even when its
-  // local slice is empty.
-  engine.ExecuteReadPartial(request.user, shard.local_scratch, request.time,
-                            /*count_request=*/true);
+  const std::uint64_t now = NowNs();
+  shard.request_latency.Add(now > sr.dispatch_ns ? now - sr.dispatch_ns : 0);
 }
 
-void ShardedRuntime::FlushOutboxes(Shard& shard) {
-  // Push one batch per peer even when empty: the drain phase pops exactly
-  // n-1 batches, which keeps the mailbox protocol free of counters.
+bool ShardedRuntime::TryFlushOutboxes(Shard& shard) {
+  bool all_sent = true;
   for (std::uint32_t d = 0; d < map_.num_shards(); ++d) {
     if (d == shard.id) continue;
-    shards_[d]->mailbox.Push(std::move(shard.outbox[d]));
-    shard.outbox[d] = OutBatch{};
+    Outbox& out = shard.outbox[d];
+    if (out.batch.ops.empty()) continue;  // never ship empty batches
+    if (fabric_->TrySend(shard.id, d, out.batch)) {
+      out.batch = WireBatch{};
+      out.last_seq = kNoSeq;
+    } else {
+      all_sent = false;
+    }
   }
+  return all_sent;
 }
 
-void ShardedRuntime::DrainMailbox(Shard& shard) {
+void ShardedRuntime::FlushForEpoch(Shard& shard) {
+  if (TryFlushOutboxes(shard)) return;
+  // Only reachable under kEager: the epoch drain empties every channel
+  // while producers are quiescent, so under kEpoch a channel never holds
+  // more than one batch. Serving our own inbound work frees our peers'
+  // channels toward us; with every worker in this flush phase either
+  // draining or retrying, the flush converges globally.
+  assert(config_.drain == DrainPolicy::kEager &&
+         "epoch drain bounds channel occupancy to one batch");
+  do {
+    EagerPoll(shard, /*ignore_staleness=*/true);
+    std::this_thread::yield();
+  } while (!TryFlushOutboxes(shard));
+}
+
+void ShardedRuntime::ServeBatches(Shard& shard) {
   auto& batches = shard.drain_batches;
+  if (batches.empty()) return;
   auto& order = shard.drain_order;
-  batches.clear();
   order.clear();
-  for (std::uint32_t k = 0; k + 1 < map_.num_shards(); ++k) {
-    auto batch = shard.mailbox.TryPop();
-    assert(batch.has_value() &&
-           "all peers flush before the dispatcher starts the drain phase");
-    if (!batch) continue;
-    batches.push_back(std::move(*batch));
-  }
-  for (const OutBatch& batch : batches) {
+  for (const WireBatch& batch : batches) {
     for (const FlatOp& op : batch.ops) {
       order.push_back(Shard::DrainRef{&op, batch.targets.data()});
     }
   }
-  // Global sequence order makes the drain deterministic regardless of the
-  // order batches arrived in.
+  // Global sequence order makes the epoch drain deterministic regardless of
+  // the order batches arrived in (eager polls serve prefixes early, which
+  // is exactly the determinism kEager trades away).
   std::sort(order.begin(), order.end(),
             [](const Shard::DrainRef& a, const Shard::DrainRef& b) {
               return a.op->seq < b.op->seq;
@@ -188,7 +268,7 @@ void ShardedRuntime::DrainMailbox(Shard& shard) {
   for (const Shard::DrainRef& ref : order) {
     const FlatOp& op = *ref.op;
     if (op.op == OpType::kRead) {
-      engine.ExecuteReadPartial(
+      shard.stats.remote_slice_msgs += engine.ExecuteReadPartial(
           op.user,
           std::span<const ViewId>(ref.targets + op.target_begin,
                                   op.target_count),
@@ -198,7 +278,54 @@ void ShardedRuntime::DrainMailbox(Shard& shard) {
       engine.ApplyReplicatedWrite(op.user, op.time);
       ++shard.stats.remote_write_applies;
     }
+    const std::uint64_t now = NowNs();
+    shard.remote_latency.Add(now > op.dispatch_ns ? now - op.dispatch_ns : 0);
   }
+  batches.clear();
+}
+
+void ShardedRuntime::DrainEpoch(Shard& shard) {
+  auto& batches = shard.drain_batches;
+  batches.clear();
+  for (std::uint32_t src = 0; src < map_.num_shards(); ++src) {
+    if (src == shard.id) continue;
+    while (auto batch = fabric_->TryRecv(src, shard.id)) {
+      batches.push_back(std::move(*batch));
+    }
+  }
+  ServeBatches(shard);
+}
+
+void ShardedRuntime::EagerPoll(Shard& shard, bool ignore_staleness) {
+  auto& batches = shard.drain_batches;
+  batches.clear();
+  constexpr std::uint64_t kMaxNs = ~std::uint64_t{0};
+  // Saturate: an "effectively infinite" staleness bound must not wrap into
+  // a tiny one.
+  const std::uint64_t min_age_ns =
+      config_.staleness_micros > kMaxNs / 1000
+          ? kMaxNs
+          : config_.staleness_micros * 1000;
+  const std::uint64_t now = NowNs();
+  for (std::uint32_t src = 0; src < map_.num_shards(); ++src) {
+    if (src == shard.id) continue;
+    for (;;) {
+      if (!ignore_staleness) {
+        const std::uint64_t oldest = fabric_->OldestDispatchNs(src, shard.id);
+        // Serve only batches that have aged past the staleness bound; the
+        // rest wait for a later poll or the epoch-boundary drain.
+        if (oldest == 0 || oldest > now || now - oldest < min_age_ns) break;
+      }
+      auto batch = fabric_->TryRecv(src, shard.id);
+      if (!batch) break;
+      batches.push_back(std::move(*batch));
+    }
+  }
+  if (batches.empty()) return;
+  // Barrier-assist polls (ignore_staleness) run at the epoch boundary; only
+  // genuine staleness-gated mid-epoch serves count as eager drains.
+  if (!ignore_staleness) ++shard.stats.eager_drains;
+  ServeBatches(shard);
 }
 
 void ShardedRuntime::RunTicks(Shard& shard, std::span<const SimTime> ticks) {
@@ -206,21 +333,45 @@ void ShardedRuntime::RunTicks(Shard& shard, std::span<const SimTime> ticks) {
 }
 
 void ShardedRuntime::WorkerLoop(Shard& shard) {
+  const bool eager = config_.drain == DrainPolicy::kEager;
+  bool awaiting_drain = false;
   while (true) {
-    auto task = shard.tasks.Pop();
+    std::optional<Task> task;
+    if (eager && awaiting_drain) {
+      // Cooperative barrier wait: a peer may still be spinning in its
+      // epoch-end flush against a full channel toward us, so a blocking Pop
+      // here would deadlock the gate. Keep serving inbound work until the
+      // drain task arrives.
+      while (!(task = shard.tasks.TryPop()).has_value()) {
+        if (shard.tasks.closed()) return;
+        EagerPoll(shard, /*ignore_staleness=*/true);
+        std::this_thread::yield();
+      }
+    } else {
+      task = shard.tasks.Pop();
+    }
     if (!task || task->kind == Task::Kind::kShutdown) return;
+    awaiting_drain = false;
     switch (task->kind) {
       case Task::Kind::kRequests:
         for (const SeqRequest& sr : task->requests) {
-          ExecuteRequest(shard, sr.request, sr.seq);
+          ExecuteRequest(shard, sr);
+        }
+        if (eager) {
+          // Ship staged remote work early and serve whatever inbound work
+          // has aged past the staleness bound — the sub-epoch freshness
+          // path.
+          TryFlushOutboxes(shard);
+          EagerPoll(shard, /*ignore_staleness=*/false);
         }
         break;
       case Task::Kind::kEndEpoch:
-        FlushOutboxes(shard);
+        FlushForEpoch(shard);
         gate_.Arrive();
+        awaiting_drain = true;
         break;
       case Task::Kind::kDrainEpoch:
-        DrainMailbox(shard);
+        DrainEpoch(shard);
         RunTicks(shard, task->ticks);
         ++shard.stats.epochs;
         gate_.Arrive();
@@ -238,17 +389,10 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
   flash_ = flash;
   const std::uint32_t n = map_.num_shards();
   const SimTime slot = engine_config_.slot_seconds;
-
-  // Epoch boundaries must be a superset of tick times so ticks fire in the
-  // same position relative to requests as in the sequential replay: round
-  // the requested epoch down to a divisor of slot_seconds.
-  SimTime epoch = config_.epoch_seconds == 0
-                      ? slot
-                      : std::min<SimTime>(config_.epoch_seconds, slot);
-  if (epoch == 0) epoch = slot;
-  while (slot % epoch != 0) --epoch;
-
+  const SimTime epoch = epoch_;
   const bool threaded = config_.spawn_threads;
+  const bool eager = config_.drain == DrainPolicy::kEager;
+
   if (threaded) {
     for (auto& shard : shards_) {
       Shard* s = shard.get();
@@ -265,7 +409,7 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
   SimTime next_tick = slot;
   std::uint64_t seq = 0;
   std::size_t i = 0;
-  const std::size_t batch_size = std::max<std::uint32_t>(config_.batch_size, 1);
+  const std::size_t batch_size = config_.batch_size;
   std::vector<std::vector<SeqRequest>> staging(n);
   std::vector<SimTime> ticks;
 
@@ -279,16 +423,20 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       staging[s] = {};
     } else {
       for (const SeqRequest& sr : staging[s]) {
-        ExecuteRequest(*shards_[s], sr.request, sr.seq);
+        ExecuteRequest(*shards_[s], sr);
       }
       staging[s].clear();
+      if (eager) {
+        TryFlushOutboxes(*shards_[s]);
+        EagerPoll(*shards_[s], /*ignore_staleness=*/false);
+      }
     }
   };
 
   for (SimTime epoch_end = epoch;; epoch_end += epoch) {
     while (i < requests.size() && requests[i].time < epoch_end) {
       const std::uint32_t s = map_.shard_of(requests[i].user);
-      staging[s].push_back(SeqRequest{seq, requests[i]});
+      staging[s].push_back(SeqRequest{seq, NowNs(), requests[i]});
       if (staging[s].size() >= batch_size) flush_shard(s);
       ++seq;
       ++i;
@@ -316,9 +464,20 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       }
       gate_.WaitFor(n);
     } else {
-      for (auto& shard : shards_) FlushOutboxes(*shard);
+      // Inline epoch-boundary flush. A full channel (kEager only) needs its
+      // *destination* drained, so the retry loop alternates serving every
+      // shard's inbound work with re-flushing until the plane is clear.
+      bool pending = false;
+      for (auto& shard : shards_) pending |= !TryFlushOutboxes(*shard);
+      while (pending) {
+        for (auto& shard : shards_) {
+          EagerPoll(*shard, /*ignore_staleness=*/true);
+        }
+        pending = false;
+        for (auto& shard : shards_) pending |= !TryFlushOutboxes(*shard);
+      }
       for (auto& shard : shards_) {
-        DrainMailbox(*shard);
+        DrainEpoch(*shard);
         RunTicks(*shard, ticks);
         ++shard->stats.epochs;
       }
@@ -353,6 +512,8 @@ RuntimeResult ShardedRuntime::MergeResults(double wall_seconds) const {
     result.counters += shard->engine->counters();
     result.shard_stats.push_back(shard->stats);
     result.totals += shard->stats;
+    result.request_latency.Merge(shard->request_latency);
+    result.remote_latency.Merge(shard->remote_latency);
     const net::TrafficRecorder& traffic = shard->engine->traffic();
     for (int tier = 0; tier < net::kNumTiers; ++tier) {
       const auto t = static_cast<net::Tier>(tier);
@@ -360,6 +521,10 @@ RuntimeResult ShardedRuntime::MergeResults(double wall_seconds) const {
       result.traffic_sys[tier] += traffic.TierTotal(t, net::MsgClass::kSystem);
     }
   }
+  result.completion_latency = result.request_latency;
+  result.completion_latency.Merge(result.remote_latency);
+  result.request_percentiles = SummarizeLatency(result.request_latency);
+  result.completion_percentiles = SummarizeLatency(result.completion_latency);
   if (wall_seconds > 0) {
     result.ops_per_sec =
         static_cast<double>(result.totals.requests) / wall_seconds;

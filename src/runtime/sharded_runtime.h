@@ -7,17 +7,29 @@
 // request to the shard owning the issuing user through a bounded MPSC task
 // queue (batched to amortize the lock). A read whose target list crosses
 // shard boundaries executes its local slice immediately and ships the
-// remote slices — and replicated-write coherence updates — through
-// per-shard mailboxes that are drained at epoch boundaries, so the
-// per-request hot path never touches shared state: counters and traffic
-// live in per-shard accumulators merged on demand after the run.
+// remote slices — and replicated-write coherence updates — through the
+// rt::Fabric communication plane: one SPSC channel per (source,
+// destination) shard pair, lock-free rings by default with the mutex queue
+// path as a selectable fallback. The per-request hot path never touches
+// shared state: counters, traffic, and latency histograms live in
+// per-shard accumulators merged on demand after the run.
 //
-// Determinism: each shard's engine observes (a) its owned requests in
-// global log order, (b) drained mailbox messages sorted by global sequence
-// number, and (c) ticks at epoch boundaries — none of which depend on
-// thread interleaving. Runs are therefore reproducible for any shard
-// count, and the single-shard configuration (threaded or the inline
-// fallback) reproduces the sequential engine's counters exactly.
+// Drain policies (RuntimeConfig::drain):
+//   kEpoch — channels drain only at epoch boundaries, sorted by global
+//   sequence number. Each shard's engine observes (a) its owned requests in
+//   global log order, (b) drained channel messages in seq order, and (c)
+//   ticks at epoch boundaries — none of which depend on thread
+//   interleaving, so runs are byte-identical across runs, transports, and
+//   the inline fallback, and the single-shard configuration reproduces the
+//   sequential engine's counters exactly.
+//   kEager — workers additionally poll inbound channels between request
+//   batches and serve remote slices older than the staleness bound,
+//   trading strict determinism for sub-epoch read freshness.
+//
+// Latency: every request is stamped at dispatch; the owning shard records
+// dispatch-to-local-completion into its LatencyHistogram, and every remote
+// slice records dispatch-to-applied on the serving shard — so the merged
+// completion percentiles expose exactly the tail the epoch drain hides.
 #pragma once
 
 #include <array>
@@ -29,12 +41,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/latency_histogram.h"
 #include "core/engine.h"
 #include "graph/social_graph.h"
 #include "net/topology.h"
 #include "net/traffic.h"
 #include "placement/placement.h"
 #include "runtime/bounded_queue.h"
+#include "runtime/fabric.h"
 #include "runtime/runtime_config.h"
 #include "runtime/shard_map.h"
 #include "workload/flash.h"
@@ -49,7 +63,11 @@ struct ShardStats {
   std::uint64_t writes = 0;
   std::uint64_t remote_read_slices = 0;   // read slices served for peers
   std::uint64_t remote_write_applies = 0; // replicated writes applied
+  std::uint64_t remote_slice_msgs = 0;    // round-trips serving peer slices
   std::uint64_t messages_sent = 0;        // RemoteOps posted to peers
+  // Staleness-gated mid-epoch polls that served work (kEager only; epoch-
+  // boundary barrier-assist polls are not counted).
+  std::uint64_t eager_drains = 0;
   std::uint64_t epochs = 0;
 
   ShardStats& operator+=(const ShardStats& o) {
@@ -58,11 +76,26 @@ struct ShardStats {
     writes += o.writes;
     remote_read_slices += o.remote_read_slices;
     remote_write_applies += o.remote_write_applies;
+    remote_slice_msgs += o.remote_slice_msgs;
     messages_sent += o.messages_sent;
+    eager_drains += o.eager_drains;
     epochs += o.epochs;
     return *this;
   }
 };
+
+// Headline percentiles of one latency histogram, in microseconds.
+struct LatencyPercentiles {
+  std::uint64_t samples = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double mean_us = 0;
+  double max_us = 0;
+};
+
+LatencyPercentiles SummarizeLatency(const common::LatencyHistogram& h);
 
 struct RuntimeResult {
   core::EngineCounters counters;  // merged across shard engines
@@ -72,6 +105,18 @@ struct RuntimeResult {
   // Merged per-tier message totals across shard engines (net::Tier index).
   std::array<std::uint64_t, net::kNumTiers> traffic_app{};
   std::array<std::uint64_t, net::kNumTiers> traffic_sys{};
+
+  // Merged latency histograms (nanosecond samples). request_latency has one
+  // sample per owned request (dispatch -> local slice completion);
+  // remote_latency one per remote read slice or replicated-write apply
+  // (dispatch -> applied on the serving shard); completion_latency is the
+  // two merged — the end-to-end completion distribution.
+  common::LatencyHistogram request_latency;
+  common::LatencyHistogram remote_latency;
+  common::LatencyHistogram completion_latency;
+  LatencyPercentiles request_percentiles;     // over request_latency
+  LatencyPercentiles completion_percentiles;  // over completion_latency
+
   std::uint64_t expected_requests = 0;  // size of the replayed log
   double wall_seconds = 0;
   double ops_per_sec = 0;  // requests / wall_seconds
@@ -81,6 +126,9 @@ class ShardedRuntime {
  public:
   // Copies the topology (shard engines keep pointers into it) and builds
   // one engine per shard from the same initial placement and config.
+  // Throws std::invalid_argument for configurations that cannot run:
+  // num_shards, queue_depth or batch_size of 0, or an epoch that rounds
+  // down to 0 (engine slot_seconds of 0).
   ShardedRuntime(const graph::SocialGraph& g, const net::Topology& topo,
                  const place::PlacementResult& initial,
                  const core::EngineConfig& engine_config,
@@ -100,32 +148,17 @@ class ShardedRuntime {
   core::Engine& shard_engine(std::uint32_t shard);
   const ShardMap& shard_map() const { return map_; }
   const RuntimeConfig& config() const { return config_; }
+  const Fabric& fabric() const { return *fabric_; }
   std::uint32_t num_shards() const { return map_.num_shards(); }
+  // Epoch length after rounding down to a divisor of the engine slot.
+  SimTime epoch_seconds() const { return epoch_; }
 
  private:
-  // A slice of work shipped between shards; applied at epoch boundaries in
-  // global sequence order. Targets live in the owning OutBatch's flat
-  // buffer so staging a remote slice never allocates per request.
-  struct FlatOp {
-    std::uint64_t seq = 0;
-    SimTime time = 0;
-    UserId user = 0;
-    OpType op = OpType::kRead;
-    std::uint32_t target_begin = 0;  // into OutBatch::targets (reads only)
-    std::uint32_t target_count = 0;
-  };
-
   static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
-
-  // One epoch's worth of remote work from one source shard to one peer.
-  struct OutBatch {
-    std::vector<FlatOp> ops;
-    std::vector<ViewId> targets;
-    std::uint64_t last_seq = kNoSeq;  // producer-side request coalescing
-  };
 
   struct SeqRequest {
     std::uint64_t seq = 0;
+    std::uint64_t dispatch_ns = 0;
     Request request;
   };
 
@@ -153,22 +186,29 @@ class ShardedRuntime {
     std::uint32_t arrived_ = 0;
   };
 
+  // Producer-side staging for one destination: ops coalesce into the
+  // pending batch until a flush point ships it through the fabric.
+  struct Outbox {
+    WireBatch batch;
+    std::uint64_t last_seq = kNoSeq;  // per-request target coalescing
+  };
+
   struct Shard {
-    explicit Shard(std::uint32_t queue_depth, std::uint32_t mailbox_depth)
-        : tasks(queue_depth), mailbox(mailbox_depth) {}
+    explicit Shard(std::uint32_t queue_depth) : tasks(queue_depth) {}
 
     std::uint32_t id = 0;
     std::unique_ptr<core::Engine> engine;
     BoundedQueue<Task> tasks;
-    BoundedQueue<OutBatch> mailbox;
-    std::vector<OutBatch> outbox;  // staged per destination
+    std::vector<Outbox> outbox;  // staged per destination
     ShardStats stats;
+    common::LatencyHistogram request_latency;  // single-writer: this shard
+    common::LatencyHistogram remote_latency;
     std::thread worker;
 
     // Reused per-request scratch (single-writer: only this shard's worker).
     std::vector<ViewId> overlay_scratch;
     std::vector<ViewId> local_scratch;
-    std::vector<OutBatch> drain_batches;
+    std::vector<WireBatch> drain_batches;
     struct DrainRef {
       const FlatOp* op;
       const ViewId* targets;  // the owning batch's flat target buffer
@@ -177,10 +217,23 @@ class ShardedRuntime {
   };
 
   void WorkerLoop(Shard& shard);
-  void ExecuteRequest(Shard& shard, const Request& request,
-                      std::uint64_t seq);
-  void FlushOutboxes(Shard& shard);
-  void DrainMailbox(Shard& shard);
+  void ExecuteRequest(Shard& shard, const SeqRequest& sr);
+  // Ships every non-empty outbox batch that fits its channel; returns false
+  // when at least one channel was full (the batch stays and keeps
+  // coalescing — only possible under kEager, where channels fill between
+  // boundary drains).
+  bool TryFlushOutboxes(Shard& shard);
+  // Epoch-boundary flush: must fully succeed before the shard arrives at
+  // the gate. When a channel is full (kEager), serves the shard's own
+  // inbound work to guarantee global progress, then retries.
+  void FlushForEpoch(Shard& shard);
+  // Pops and applies every pending inbound batch, sorted by global seq.
+  void DrainEpoch(Shard& shard);
+  // kEager: serves inbound batches whose oldest op exceeds the staleness
+  // bound (or everything, when ignore_staleness is set by FlushForEpoch).
+  void EagerPoll(Shard& shard, bool ignore_staleness);
+  // Applies a set of received batches in global sequence order.
+  void ServeBatches(Shard& shard);
   void RunTicks(Shard& shard, std::span<const SimTime> ticks);
 
   RuntimeResult MergeResults(double wall_seconds) const;
@@ -190,8 +243,10 @@ class ShardedRuntime {
   core::EngineConfig engine_config_;
   RuntimeConfig config_;
   ShardMap map_;
+  SimTime epoch_ = 0;  // validated divisor of the engine slot
   bool replicate_writes_ = false;
   std::span<const wl::FlashEvent> flash_;  // valid during Run only
+  std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Gate gate_;
 };

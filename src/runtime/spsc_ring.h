@@ -1,0 +1,88 @@
+// Fixed-size lock-free single-producer/single-consumer ring buffer: the
+// per-(source, destination) channel underneath rt::SpscFabric.
+//
+// A Lamport queue with cached counterpart indices: the producer re-reads the
+// consumer's head (and vice versa) only when its cached copy says the ring
+// looks full/empty, so steady-state pushes and pops touch one shared cache
+// line each. head_/tail_ are free-running (never wrapped); unsigned
+// subtraction gives the occupancy even across overflow. Capacity rounds up
+// to a power of two so indexing is a mask, not a modulo.
+//
+// Thread-safety: exactly one producer thread may call TryPush and exactly
+// one consumer thread may call TryPop/Front. The epoch protocol's flush
+// barrier (all producers quiesce before the drain) makes "pop until empty"
+// a stable observation for the consumer.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dynasore::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_(std::bit_ceil(std::max<std::size_t>(min_capacity, 2)) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer only. Moves from `item` and returns true when a slot is free;
+  // leaves `item` untouched and returns false when the ring is full.
+  bool TryPush(T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer only. Empty optional when nothing is queued right now.
+  std::optional<T> TryPop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    std::optional<T> item(std::move(slots_[head & mask_]));
+    slots_[head & mask_] = T{};  // release payload buffers eagerly
+    head_.store(head + 1, std::memory_order_release);
+    return item;
+  }
+
+  // Consumer only: the next item without popping it (nullptr when empty).
+  // Valid until the consumer's next TryPop.
+  const T* Front() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  // Producer and consumer indices live on separate cache lines, each next to
+  // that side's cached copy of the other index (false-sharing avoidance).
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer
+  std::size_t tail_cache_ = 0;                            // consumer-owned
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producer
+  std::size_t head_cache_ = 0;                            // producer-owned
+};
+
+}  // namespace dynasore::rt

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/latency_histogram.h"
 #include "common/rng.h"
 #include "common/rotating_counter.h"
 #include "common/stats.h"
@@ -314,6 +315,81 @@ TEST(TableTest, CsvRoundTrip) {
 TEST(TableTest, FmtPrecision) {
   EXPECT_EQ(TablePrinter::Fmt(0.12345, 2), "0.12");
   EXPECT_EQ(TablePrinter::Fmt(std::uint64_t{42}), "42");
+}
+
+// ----- LatencyHistogram -----
+
+TEST(LatencyHistogramTest, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {0, 1, 2, 3, 4, 5, 6, 7}) h.Add(v);
+  // Below 2^kSubBits every value has its own bucket.
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 7u);
+  EXPECT_EQ(h.Percentile(0.5), 3u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 28u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+}
+
+TEST(LatencyHistogramTest, BucketMappingIsMonotoneAndTight) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; v = v * 3 / 2 + 1) {
+    const std::size_t b = LatencyHistogram::BucketOf(v);
+    ASSERT_GE(b, prev);  // larger values never map to earlier buckets
+    prev = b;
+    // The bucket's upper edge is >= v and within 12.5% (one sub-bucket).
+    const std::uint64_t upper = LatencyHistogram::BucketUpper(b);
+    ASSERT_GE(upper, v);
+    ASSERT_LE(static_cast<double>(upper),
+              static_cast<double>(v) * 1.125 + 1.0);
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileErrorIsBounded) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.Add(v);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact = static_cast<double>(q * 10000);
+    const auto approx = static_cast<double>(h.Percentile(q));
+    EXPECT_GE(approx, exact - 1.0) << q;
+    EXPECT_LE(approx, exact * 1.125 + 1.0) << q;
+  }
+  EXPECT_EQ(h.Percentile(1.0), 10000u);  // capped at the observed max
+  EXPECT_EQ(h.max(), 10000u);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSequentialFeed) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    ((v % 3 == 0) ? a : b).Add(v * 17);
+    both.Add(v * 17);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.max(), both.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Percentile(q), both.Percentile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptySides) {
+  LatencyHistogram empty, filled;
+  filled.Add(123456);
+  LatencyHistogram target = filled;
+  target.Merge(empty);
+  EXPECT_EQ(target.count(), 1u);
+  empty.Merge(filled);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.Percentile(0.5), filled.Percentile(0.5));
 }
 
 }  // namespace

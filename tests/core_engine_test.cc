@@ -473,5 +473,31 @@ TEST(DurabilityModeTest, MinReplicasPinnedAgainstEviction) {
   EXPECT_EQ(engine.ReplicaCount(0), 2u);
 }
 
+// ----- Read-slice cost hook (used by the sharded runtime) -----
+
+TEST(StaticEngineTest, ReadSliceCostCountsOneRoundTripPerTarget) {
+  const auto topo = SmallTopo();
+  // Views 0 and 1 both on server 0, view 2 on server 2; user 2 reads.
+  Engine engine(topo, MakePlacement({{0}, {0}, {2}}), StaticConfig());
+  const std::vector<ViewId> targets{0, 1};
+  EXPECT_EQ(engine.ExecuteReadPartial(2, targets, 0, /*count_request=*/true),
+            2u);
+  EXPECT_EQ(engine.ExecuteReadPartial(2, std::vector<ViewId>{}, 0,
+                                      /*count_request=*/false),
+            0u);
+}
+
+TEST(StaticEngineTest, ReadSliceCostCoalescesPerServerWhenBatched) {
+  const auto topo = SmallTopo();
+  EngineConfig config = StaticConfig();
+  config.traffic.batch_per_server = true;
+  // Views 0 and 1 share server 0, view 2 lives on server 2: two distinct
+  // servers contacted for three targets.
+  Engine engine(topo, MakePlacement({{0}, {0}, {2}, {4}}), config);
+  const std::vector<ViewId> targets{0, 1, 2};
+  EXPECT_EQ(engine.ExecuteReadPartial(3, targets, 0, /*count_request=*/true),
+            2u);
+}
+
 }  // namespace
 }  // namespace dynasore::core

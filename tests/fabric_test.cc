@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/fabric.h"
+#include "runtime/spsc_ring.h"
+
+namespace dynasore::rt {
+namespace {
+
+// ----- SpscRing -----
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(66).capacity(), 128u);
+}
+
+TEST(SpscRingTest, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.TryPush(v));
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ring.TryPop(), i);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, TryPushFailsWhenFullAndLeavesItemIntact) {
+  SpscRing<std::vector<int>> ring(2);
+  std::vector<int> a{1}, b{2}, c{3, 4, 5};
+  ASSERT_TRUE(ring.TryPush(a));
+  ASSERT_TRUE(ring.TryPush(b));
+  EXPECT_FALSE(ring.TryPush(c));
+  EXPECT_EQ(c, (std::vector<int>{3, 4, 5}));  // rejected item untouched
+  EXPECT_EQ(ring.TryPop(), std::vector<int>{1});
+  EXPECT_TRUE(ring.TryPush(c));  // slot freed
+}
+
+TEST(SpscRingTest, FrontPeeksWithoutPopping) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Front(), nullptr);
+  int v = 42;
+  ASSERT_TRUE(ring.TryPush(v));
+  ASSERT_NE(ring.Front(), nullptr);
+  EXPECT_EQ(*ring.Front(), 42);
+  EXPECT_EQ(ring.TryPop(), 42);  // Front did not consume
+  EXPECT_EQ(ring.Front(), nullptr);
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  for (int round = 0; round < 500; ++round) {
+    const int burst = 1 + round % 4;  // varies occupancy across wraps
+    for (int k = 0; k < burst; ++k) {
+      std::uint64_t v = next_push;
+      ASSERT_TRUE(ring.TryPush(v));
+      ++next_push;
+    }
+    for (int k = 0; k < burst; ++k) ASSERT_EQ(ring.TryPop(), next_pop++);
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+// The TSan target: one producer, one consumer, full throughput, order and
+// completeness checked.
+TEST(SpscRingTest, ProducerConsumerDeliversEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(16);
+  constexpr std::uint64_t kItems = 20000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems;) {
+      std::uint64_t v = i;
+      if (ring.TryPush(v)) {
+        ++i;
+      } else {
+        std::this_thread::yield();  // single-core containers
+      }
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kItems) {
+    if (auto v = ring.TryPop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+// ----- Fabric (both transports through the same interface) -----
+
+WireBatch MakeBatch(std::uint64_t seq, std::uint64_t dispatch_ns,
+                    std::vector<ViewId> targets) {
+  WireBatch batch;
+  FlatOp op;
+  op.seq = seq;
+  op.dispatch_ns = dispatch_ns;
+  op.user = 1;
+  op.op = OpType::kRead;
+  op.target_begin = 0;
+  op.target_count = static_cast<std::uint32_t>(targets.size());
+  batch.ops.push_back(op);
+  batch.targets = std::move(targets);
+  return batch;
+}
+
+class FabricTest : public ::testing::TestWithParam<FabricTransport> {};
+
+INSTANTIATE_TEST_SUITE_P(Transports, FabricTest,
+                         ::testing::Values(FabricTransport::kMutex,
+                                           FabricTransport::kSpsc));
+
+TEST_P(FabricTest, RoundTripPreservesPayload) {
+  auto fabric = MakeFabric(GetParam(), 3, 4);
+  WireBatch batch = MakeBatch(7, 1000, {10, 11, 12});
+  ASSERT_TRUE(fabric->TrySend(0, 2, batch));
+  auto received = fabric->TryRecv(0, 2);
+  ASSERT_TRUE(received.has_value());
+  ASSERT_EQ(received->ops.size(), 1u);
+  EXPECT_EQ(received->ops[0].seq, 7u);
+  EXPECT_EQ(received->ops[0].dispatch_ns, 1000u);
+  EXPECT_EQ(received->targets, (std::vector<ViewId>{10, 11, 12}));
+  EXPECT_FALSE(fabric->TryRecv(0, 2).has_value());
+}
+
+TEST_P(FabricTest, ChannelsAreIndependentPerPair) {
+  auto fabric = MakeFabric(GetParam(), 3, 4);
+  WireBatch from0 = MakeBatch(1, 100, {1});
+  WireBatch from1 = MakeBatch(2, 200, {2});
+  ASSERT_TRUE(fabric->TrySend(0, 2, from0));
+  ASSERT_TRUE(fabric->TrySend(1, 2, from1));
+  EXPECT_FALSE(fabric->TryRecv(2, 0).has_value());  // wrong direction
+  auto a = fabric->TryRecv(0, 2);
+  auto b = fabric->TryRecv(1, 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->ops[0].seq, 1u);
+  EXPECT_EQ(b->ops[0].seq, 2u);
+}
+
+TEST_P(FabricTest, TrySendFailsWhenFullAndKeepsBatch) {
+  auto fabric = MakeFabric(GetParam(), 2, 2);
+  WireBatch overflow = MakeBatch(99, 900, {42});
+  int sent = 0;
+  // Fill the channel to whatever its (transport-rounded) capacity is.
+  for (; sent < 1000; ++sent) {
+    WireBatch batch = MakeBatch(static_cast<std::uint64_t>(sent), 1, {1});
+    if (!fabric->TrySend(0, 1, batch)) break;
+  }
+  EXPECT_GE(sent, 2);
+  EXPECT_FALSE(fabric->TrySend(0, 1, overflow));
+  EXPECT_EQ(overflow.ops[0].seq, 99u);  // rejected batch untouched
+  EXPECT_EQ(overflow.targets, std::vector<ViewId>{42});
+  ASSERT_TRUE(fabric->TryRecv(0, 1).has_value());
+  EXPECT_TRUE(fabric->TrySend(0, 1, overflow));  // slot freed
+}
+
+TEST_P(FabricTest, OldestDispatchNsTracksHeadOfChannel) {
+  auto fabric = MakeFabric(GetParam(), 2, 4);
+  EXPECT_EQ(fabric->OldestDispatchNs(0, 1), 0u);  // empty
+  WireBatch first = MakeBatch(1, 500, {1});
+  WireBatch second = MakeBatch(2, 900, {2});
+  ASSERT_TRUE(fabric->TrySend(0, 1, first));
+  ASSERT_TRUE(fabric->TrySend(0, 1, second));
+  EXPECT_EQ(fabric->OldestDispatchNs(0, 1), 500u);
+  ASSERT_TRUE(fabric->TryRecv(0, 1).has_value());
+  EXPECT_EQ(fabric->OldestDispatchNs(0, 1), 900u);
+  ASSERT_TRUE(fabric->TryRecv(0, 1).has_value());
+  EXPECT_EQ(fabric->OldestDispatchNs(0, 1), 0u);
+}
+
+TEST_P(FabricTest, NamesIdentifyTransport) {
+  EXPECT_STREQ(MakeFabric(GetParam(), 2, 2)->name(),
+               GetParam() == FabricTransport::kMutex ? "mutex" : "spsc");
+}
+
+// Threaded pairwise exchange: every shard sends a numbered stream to every
+// other shard; receivers must observe each stream complete and in order.
+// Exercises all n*(n-1) channels concurrently (TSan fodder).
+TEST_P(FabricTest, AllPairsThreadedExchange) {
+  constexpr std::uint32_t kShards = 4;
+  constexpr std::uint64_t kPerPair = 500;
+  auto fabric = MakeFabric(GetParam(), kShards, 4);
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  workers.reserve(kShards);
+  for (std::uint32_t self = 0; self < kShards; ++self) {
+    workers.emplace_back([&, self] {
+      std::array<std::uint64_t, kShards> next_send{};
+      std::array<std::uint64_t, kShards> next_recv{};
+      bool done = false;
+      while (!done) {
+        done = true;
+        for (std::uint32_t peer = 0; peer < kShards; ++peer) {
+          if (peer == self) continue;
+          if (next_send[peer] < kPerPair) {
+            done = false;
+            WireBatch batch =
+                MakeBatch(next_send[peer], 1, {static_cast<ViewId>(self)});
+            if (fabric->TrySend(self, peer, batch)) ++next_send[peer];
+          }
+          while (auto batch = fabric->TryRecv(peer, self)) {
+            if (batch->ops[0].seq != next_recv[peer] ||
+                batch->targets[0] != peer) {
+              failed.store(true);
+            }
+            ++next_recv[peer];
+          }
+          if (next_recv[peer] < kPerPair) done = false;
+        }
+        if (!done) std::this_thread::yield();  // single-core containers
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace dynasore::rt

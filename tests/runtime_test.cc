@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -59,6 +60,44 @@ TEST(BoundedQueueTest, CloseUnblocksAndDrains) {
   EXPECT_FALSE(q.Pop().has_value());  // then report exhaustion
 }
 
+TEST(BoundedQueueTest, PushAfterCloseDoesNotEnqueue) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(1));
+  EXPECT_EQ(q.size(), 0u);  // the rejected item was not enqueued
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, DrainAfterCloseKeepsFifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  q.Close();
+  // Blocking and non-blocking pops both drain the remainder in order.
+  EXPECT_EQ(q.Pop(), 0);
+  EXPECT_EQ(q.TryPop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.TryPop(), 3);
+  EXPECT_EQ(q.Pop(), 4);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] {
+    rejected.store(!q.Push(2));  // blocks at capacity until Close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+  EXPECT_EQ(q.Pop(), 1);  // the pre-close item still drains
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
 TEST(BoundedQueueTest, MultiProducerDeliversEverything) {
   BoundedQueue<int> q(4);
   constexpr int kProducers = 4;
@@ -102,6 +141,43 @@ TEST(ShardMapTest, RangeIsContiguousAndClampsTail) {
   EXPECT_EQ(map.shard_of(3), 1u);
   EXPECT_EQ(map.shard_of(9), 3u);
   EXPECT_EQ(map.shard_of(11), 3u);  // past the end clamps to the last shard
+}
+
+TEST(ShardMapTest, EveryIdOwnedByExactlyOneShardInBothModes) {
+  for (const ShardingMode mode : {ShardingMode::kHash, ShardingMode::kRange}) {
+    for (const std::uint32_t shards : {1u, 3u, 4u, 7u}) {
+      const std::uint32_t users = 997;  // prime: exercises uneven blocks
+      const ShardMap map(shards, users, mode);
+      std::vector<std::uint32_t> hits(shards, 0);
+      for (UserId u = 0; u < users; ++u) {
+        const std::uint32_t s = map.shard_of(u);
+        ASSERT_LT(s, shards);            // a valid owner...
+        ASSERT_EQ(s, map.shard_of(u));   // ...and always the same one
+        ++hits[s];
+      }
+      std::uint32_t total = 0;
+      for (std::uint32_t h : hits) {
+        EXPECT_GT(h, 0u);  // no shard owns an empty slice of the id space
+        total += h;
+      }
+      EXPECT_EQ(total, users);  // owned exactly once: no loss, no overlap
+    }
+  }
+}
+
+TEST(ShardMapTest, RangeBoundariesWithExactDivision) {
+  const ShardMap map(4, 8, ShardingMode::kRange);  // blocks of exactly 2
+  for (UserId u = 0; u < 8; ++u) EXPECT_EQ(map.shard_of(u), u / 2);
+  // Range ownership is monotone: boundaries only step up, by exactly one.
+  const ShardMap uneven(3, 10, ShardingMode::kRange);  // blocks of 4
+  std::uint32_t prev = 0;
+  for (UserId u = 0; u < 10; ++u) {
+    const std::uint32_t s = uneven.shard_of(u);
+    ASSERT_GE(s, prev);
+    ASSERT_LE(s, prev + 1);
+    prev = s;
+  }
+  EXPECT_EQ(uneven.shard_of(9), 2u);  // the tail lands on the last shard
 }
 
 // ----- Fixtures -----
@@ -405,6 +481,258 @@ TEST(ShardedRuntimeTest, PayloadModeReplicatesWritesForCoherence) {
     ASSERT_EQ(data->events().size(), expect.size());
     EXPECT_EQ(data->events().front().payload, expect.front().payload);
   }
+}
+
+// ----- Fabric transports and drain policies -----
+
+RuntimeConfig FabricConfig(std::uint32_t shards, FabricTransport transport,
+                           DrainPolicy drain, bool threaded = true) {
+  RuntimeConfig config;
+  config.num_shards = shards;
+  config.transport = transport;
+  config.drain = drain;
+  config.spawn_threads = threaded;
+  return config;
+}
+
+// Deterministic ShardStats fields (eager_drains depends on wall-clock
+// scheduling, so it is compared only where both runs use kEpoch).
+void ExpectStatsEq(const ShardStats& a, const ShardStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.remote_read_slices, b.remote_read_slices);
+  EXPECT_EQ(a.remote_write_applies, b.remote_write_applies);
+  EXPECT_EQ(a.remote_slice_msgs, b.remote_slice_msgs);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.epochs, b.epochs);
+}
+
+TEST(FabricRuntimeTest, SpscEpochMatchesMutexBitForBit) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  const RuntimeResult spsc = RunSharded(
+      g, log, /*adaptive=*/true,
+      FabricConfig(4, FabricTransport::kSpsc, DrainPolicy::kEpoch));
+  const RuntimeResult mutex = RunSharded(
+      g, log, /*adaptive=*/true,
+      FabricConfig(4, FabricTransport::kMutex, DrainPolicy::kEpoch));
+
+  ExpectCountersEq(spsc.counters, mutex.counters);
+  ASSERT_EQ(spsc.shard_counters.size(), mutex.shard_counters.size());
+  for (std::size_t s = 0; s < spsc.shard_counters.size(); ++s) {
+    ExpectCountersEq(spsc.shard_counters[s], mutex.shard_counters[s]);
+    ExpectStatsEq(spsc.shard_stats[s], mutex.shard_stats[s]);
+  }
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    EXPECT_EQ(spsc.traffic_app[tier], mutex.traffic_app[tier]);
+    EXPECT_EQ(spsc.traffic_sys[tier], mutex.traffic_sys[tier]);
+  }
+}
+
+TEST(FabricRuntimeTest, MutexTransportOneShardStillMatchesSequential) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/true));
+
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/true,
+                 FabricConfig(1, FabricTransport::kMutex, DrainPolicy::kEpoch,
+                              /*threaded=*/false));
+  ExpectCountersEq(result.counters, sequential.counters);
+}
+
+TEST(FabricRuntimeTest, EagerDrainConservesAllWorkThreaded) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const sim::SimResult sequential =
+      sim::RunExperiment(g, log, BaseConfig(/*adaptive=*/true));
+
+  const RuntimeResult result = RunSharded(
+      g, log, /*adaptive=*/true,
+      FabricConfig(4, FabricTransport::kSpsc, DrainPolicy::kEager));
+
+  // Eager serving reorders remote slices (that is the point) but must not
+  // lose or duplicate any work.
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+  EXPECT_EQ(result.counters.reads, log.num_reads);
+  EXPECT_EQ(result.counters.writes, log.num_writes);
+  EXPECT_EQ(result.counters.view_reads, sequential.counters.view_reads);
+  // Every owned request and every remote slice recorded one latency sample.
+  EXPECT_EQ(result.request_latency.count(), result.expected_requests);
+  EXPECT_EQ(result.remote_latency.count(),
+            result.totals.remote_read_slices +
+                result.totals.remote_write_applies);
+  EXPECT_EQ(result.completion_latency.count(),
+            result.request_latency.count() + result.remote_latency.count());
+}
+
+TEST(FabricRuntimeTest, EagerInlineIsDeterministic) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  const RuntimeConfig config = FabricConfig(
+      3, FabricTransport::kSpsc, DrainPolicy::kEager, /*threaded=*/false);
+  const RuntimeResult a = RunSharded(g, log, /*adaptive=*/true, config);
+  const RuntimeResult b = RunSharded(g, log, /*adaptive=*/true, config);
+
+  // With staleness 0 the inline fallback serves on a fixed schedule, so
+  // even the eager policy is reproducible there.
+  ExpectCountersEq(a.counters, b.counters);
+  for (std::size_t s = 0; s < a.shard_counters.size(); ++s) {
+    ExpectCountersEq(a.shard_counters[s], b.shard_counters[s]);
+    ExpectStatsEq(a.shard_stats[s], b.shard_stats[s]);
+  }
+}
+
+TEST(FabricRuntimeTest, EagerActuallyServesSubEpoch) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  const RuntimeResult result = RunSharded(
+      g, log, /*adaptive=*/false,
+      FabricConfig(3, FabricTransport::kSpsc, DrainPolicy::kEager,
+                   /*threaded=*/false));
+  EXPECT_GT(result.totals.eager_drains, 0u);
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+}
+
+TEST(FabricRuntimeTest, EagerWithHugeStalenessDegeneratesToEpoch) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  RuntimeConfig eager = FabricConfig(3, FabricTransport::kSpsc,
+                                     DrainPolicy::kEager, /*threaded=*/false);
+  eager.staleness_micros = ~std::uint64_t{0} / 2000;  // never reached
+  const RuntimeConfig epoch = FabricConfig(
+      3, FabricTransport::kSpsc, DrainPolicy::kEpoch, /*threaded=*/false);
+
+  const RuntimeResult a = RunSharded(g, log, /*adaptive=*/true, eager);
+  const RuntimeResult b = RunSharded(g, log, /*adaptive=*/true, epoch);
+
+  // Nothing ever ages past the bound, so every slice waits for the
+  // boundary drain and the run is bit-identical to the epoch policy.
+  EXPECT_EQ(a.totals.eager_drains, 0u);
+  ExpectCountersEq(a.counters, b.counters);
+  for (std::size_t s = 0; s < a.shard_counters.size(); ++s) {
+    ExpectCountersEq(a.shard_counters[s], b.shard_counters[s]);
+    ExpectStatsEq(a.shard_stats[s], b.shard_stats[s]);
+  }
+}
+
+TEST(FabricRuntimeTest, PayloadModeCoherentUnderEagerMutexTransport) {
+  const auto g = TestGraph(400);
+  const auto log = TestLog(g, 0.5);
+
+  sim::ExperimentConfig config = BaseConfig(/*adaptive=*/false);
+  config.engine.store.payload_mode = true;
+  const RuntimeFixture fx = MakeFixture(g, config);
+
+  persist::PersistentStore persist;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    persist.Append({u, 0, "seed"});
+  }
+
+  ShardedRuntime runtime(
+      g, fx.topo, fx.placement, fx.engine,
+      FabricConfig(2, FabricTransport::kMutex, DrainPolicy::kEager));
+  runtime.AttachPersistentStore(&persist);
+  const RuntimeResult result = runtime.Run(log);
+
+  EXPECT_EQ(result.counters.writes, log.num_writes);
+  EXPECT_EQ(result.totals.remote_write_applies, log.num_writes);
+}
+
+// ----- Latency accounting -----
+
+TEST(ShardedRuntimeTest, LatencyAccountingCountsEverySample) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 4;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/false, rt_config);
+
+  EXPECT_EQ(result.request_latency.count(), result.expected_requests);
+  EXPECT_EQ(result.remote_latency.count(),
+            result.totals.remote_read_slices +
+                result.totals.remote_write_applies);
+  EXPECT_EQ(result.completion_latency.count(),
+            result.request_latency.count() + result.remote_latency.count());
+
+  const LatencyPercentiles& p = result.completion_percentiles;
+  EXPECT_EQ(p.samples, result.completion_latency.count());
+  EXPECT_LE(p.p50_us, p.p90_us);
+  EXPECT_LE(p.p90_us, p.p99_us);
+  EXPECT_LE(p.p99_us, p.p999_us);
+  EXPECT_LE(p.p999_us, p.max_us);
+  // Cross-shard reads exist in this workload, so remote slices were served
+  // and their cost was attributed.
+  EXPECT_GT(result.totals.remote_read_slices, 0u);
+  EXPECT_GT(result.totals.remote_slice_msgs, 0u);
+}
+
+TEST(ShardedRuntimeTest, OneShardHasNoRemoteLatencySamples) {
+  const auto g = TestGraph(400);
+  const auto log = TestLog(g, 0.5);
+
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 1;
+  rt_config.spawn_threads = false;
+  const RuntimeResult result =
+      RunSharded(g, log, /*adaptive=*/false, rt_config);
+
+  EXPECT_EQ(result.request_latency.count(), result.expected_requests);
+  EXPECT_EQ(result.remote_latency.count(), 0u);
+  EXPECT_EQ(result.completion_latency.count(), result.expected_requests);
+}
+
+// ----- Config validation -----
+
+TEST(ShardedRuntimeTest, ConstructionRejectsInvalidConfig) {
+  const auto g = TestGraph(400);
+  const sim::ExperimentConfig config = BaseConfig(/*adaptive=*/false);
+  const RuntimeFixture fx = MakeFixture(g, config);
+
+  RuntimeConfig zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_THROW(
+      ShardedRuntime(g, fx.topo, fx.placement, fx.engine, zero_shards),
+      std::invalid_argument);
+
+  RuntimeConfig zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_THROW(ShardedRuntime(g, fx.topo, fx.placement, fx.engine, zero_batch),
+               std::invalid_argument);
+
+  RuntimeConfig zero_queue;
+  zero_queue.queue_depth = 0;
+  EXPECT_THROW(ShardedRuntime(g, fx.topo, fx.placement, fx.engine, zero_queue),
+               std::invalid_argument);
+
+  // An engine slot of 0 makes every epoch round down to 0: rejected up
+  // front instead of looping forever.
+  core::EngineConfig zero_slot = fx.engine;
+  zero_slot.slot_seconds = 0;
+  EXPECT_THROW(
+      ShardedRuntime(g, fx.topo, fx.placement, zero_slot, RuntimeConfig{}),
+      std::invalid_argument);
+}
+
+TEST(ShardedRuntimeTest, ValidConfigReportsRoundedEpoch) {
+  const auto g = TestGraph(400);
+  const sim::ExperimentConfig config = BaseConfig(/*adaptive=*/false);
+  const RuntimeFixture fx = MakeFixture(g, config);
+
+  RuntimeConfig rt_config;
+  rt_config.epoch_seconds = 1000;  // not a divisor of 3600
+  const ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine,
+                               rt_config);
+  EXPECT_EQ(runtime.epoch_seconds(), 900u);  // rounded down to a divisor
+  EXPECT_STREQ(runtime.fabric().name(), "spsc");
 }
 
 TEST(ShardedRuntimeTest, FlashOverlayConservesViewReads) {
