@@ -1,0 +1,205 @@
+// Online shard reconfiguration: pause time and post-resize throughput.
+//
+// Replays the synthetic §4.2 workload through rt::ShardedRuntime under five
+// scenarios — static 2 shards, static 4 shards, a 2->4 split at one third
+// of the run, a 4->2 merge at one third, and a split+merge round trip — for
+// both the static (Random placement) and adaptive (DynaSoRe) engines. For
+// every applied reconfiguration it reports the serving pause (the
+// wall-clock the dispatcher spent migrating view state and rewiring the
+// fabric while all workers were quiesced) and the number of views whose
+// owner changed; for every run it reports ops/sec and completion
+// percentiles, plus a conservation verdict: the resizing runs must execute
+// exactly the logged request count, and under the static engine their
+// aggregate counters must be bit-identical to the static-shard baseline.
+//
+// Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME
+// --csv-dir=PATH.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "runtime/sharded_runtime.h"
+#include "sim/experiment.h"
+#include "workload/partition.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+namespace {
+
+constexpr char kCsvHeader[] =
+    "section,mode,scenario,event,from_shards,to_shards,epoch_end_s,"
+    "views_migrated,pause_us,ops_per_sec,p50_us,p99_us,conserved\n";
+
+struct Scenario {
+  const char* name;
+  std::uint32_t start_shards;
+  // Shard counts requested at 1/3 and 2/3 of the epoch count (0 = none).
+  std::uint32_t resize_a = 0;
+  std::uint32_t resize_b = 0;
+};
+
+struct RunOutcome {
+  rt::RuntimeResult result;
+  bool conserved = false;
+};
+
+std::uint64_t FinalShards(const rt::RuntimeResult& r) {
+  return static_cast<std::uint64_t>(r.shard_stats.size());
+}
+
+RunOutcome RunScenario(const graph::SocialGraph& g, const wl::RequestLog& log,
+                       bool adaptive, const BenchArgs& args,
+                       const Scenario& sc) {
+  sim::ExperimentConfig config;
+  config.policy = adaptive ? sim::Policy::kDynaSoRe : sim::Policy::kRandom;
+  config.extra_memory_pct = 50;
+  config.seed = args.seed;
+  const net::Topology topo = sim::MakeTopology(config.cluster);
+  core::EngineConfig engine = config.engine;
+  engine.store.capacity_views = sim::CapacityPerServer(
+      g.num_users(), topo.num_servers(), config.extra_memory_pct);
+  engine.adaptive = adaptive;
+  const place::PlacementResult placement = sim::MakeInitialPlacement(
+      g, topo, engine.store.capacity_views, config);
+
+  rt::RuntimeConfig rt_config;
+  rt_config.num_shards = sc.start_shards;
+  rt::ShardedRuntime runtime(g, topo, placement, engine, rt_config);
+
+  const std::uint64_t epochs =
+      (log.duration + runtime.epoch_seconds() - 1) / runtime.epoch_seconds();
+  const std::uint64_t at_a = epochs / 3;
+  const std::uint64_t at_b = 2 * epochs / 3;
+  runtime.SetEpochHook([&](SimTime, std::uint64_t idx) {
+    if (sc.resize_a != 0 && idx == at_a) runtime.Reconfigure(sc.resize_a);
+    if (sc.resize_b != 0 && idx == at_b) runtime.Reconfigure(sc.resize_b);
+  });
+
+  RunOutcome out{runtime.Run(log), false};
+  out.conserved = out.result.totals.requests == out.result.expected_requests &&
+                  out.result.counters.reads == log.num_reads &&
+                  out.result.counters.writes == log.num_writes;
+  return out;
+}
+
+// Returns whether every scenario conserved its requests (and, for the
+// static engine, matched the static2 reference counters) — wired to the
+// process exit code so CI smoke runs fail on a conservation regression.
+bool ReportMode(const graph::SocialGraph& g, const wl::RequestLog& log,
+                bool adaptive, const BenchArgs& args, std::string* csv) {
+  const char* mode = adaptive ? "adaptive" : "static";
+  const Scenario scenarios[] = {
+      {"static2", 2},
+      {"static4", 4},
+      {"split2to4", 2, 4},
+      {"merge4to2", 4, 2},
+      {"split+merge", 2, 4, 2},
+  };
+
+  std::printf("-- %s engine --\n", mode);
+  common::TablePrinter runs({"scenario", "shards", "ops/sec", "p50_us",
+                             "p99_us", "resizes", "pause_total_us",
+                             "conserved"});
+  common::TablePrinter events({"scenario", "event", "resize", "epoch_end_s",
+                               "views_migrated", "pause_us"});
+  // Bit-identity reference for the static engine: identical replica sets on
+  // every shard engine make aggregate counters layout-independent.
+  const core::EngineCounters* reference = nullptr;
+  core::EngineCounters static2_counters;
+
+  bool all_ok = true;
+  for (const Scenario& sc : scenarios) {
+    const RunOutcome out = RunScenario(g, log, adaptive, args, sc);
+    const rt::RuntimeResult& r = out.result;
+
+    std::uint64_t pause_total_ns = 0;
+    for (const rt::ReconfigEvent& e : r.reconfig_events) {
+      pause_total_ns += e.pause_ns;
+    }
+    bool identical = out.conserved;
+    if (!adaptive) {
+      if (reference == nullptr) {
+        static2_counters = r.counters;
+        reference = &static2_counters;
+      } else {
+        identical = identical &&
+                    r.counters.view_reads == reference->view_reads &&
+                    r.counters.replica_updates == reference->replica_updates;
+      }
+    }
+
+    runs.AddRow({sc.name, common::TablePrinter::Fmt(FinalShards(r)),
+                 common::TablePrinter::Fmt(r.ops_per_sec, 0),
+                 common::TablePrinter::Fmt(r.completion_percentiles.p50_us, 1),
+                 common::TablePrinter::Fmt(r.completion_percentiles.p99_us, 1),
+                 common::TablePrinter::Fmt(
+                     std::uint64_t{r.reconfig_events.size()}),
+                 common::TablePrinter::Fmt(
+                     static_cast<double>(pause_total_ns) / 1000.0, 1),
+                 identical ? "yes" : "NO"});
+
+    csv->append("run,").append(mode).append(",").append(sc.name).append(",,");
+    csv->append(std::to_string(sc.start_shards)).append(",");
+    csv->append(std::to_string(FinalShards(r))).append(",,,");
+    csv->append(common::TablePrinter::Fmt(
+                    static_cast<double>(pause_total_ns) / 1000.0, 1))
+        .append(",");
+    csv->append(common::TablePrinter::Fmt(r.ops_per_sec, 1)).append(",");
+    csv->append(common::TablePrinter::Fmt(r.completion_percentiles.p50_us, 1))
+        .append(",");
+    csv->append(common::TablePrinter::Fmt(r.completion_percentiles.p99_us, 1))
+        .append(",");
+    csv->append(identical ? "yes" : "no").append("\n");
+
+    int index = 0;
+    for (const rt::ReconfigEvent& e : r.reconfig_events) {
+      const std::string resize = std::to_string(e.from_shards) + "->" +
+                                 std::to_string(e.to_shards);
+      events.AddRow({sc.name, common::TablePrinter::Fmt(std::uint64_t(index)),
+                     resize, common::TablePrinter::Fmt(e.epoch_end),
+                     common::TablePrinter::Fmt(e.views_migrated),
+                     common::TablePrinter::Fmt(
+                         static_cast<double>(e.pause_ns) / 1000.0, 1)});
+      csv->append("event,").append(mode).append(",").append(sc.name);
+      csv->append(",").append(std::to_string(index)).append(",");
+      csv->append(std::to_string(e.from_shards)).append(",");
+      csv->append(std::to_string(e.to_shards)).append(",");
+      csv->append(std::to_string(e.epoch_end)).append(",");
+      csv->append(std::to_string(e.views_migrated)).append(",");
+      csv->append(common::TablePrinter::Fmt(
+                      static_cast<double>(e.pause_ns) / 1000.0, 1))
+          .append(",,,,\n");
+      ++index;
+    }
+    all_ok = all_ok && identical;
+  }
+  runs.Print();
+  std::printf("reconfiguration events:\n");
+  events.Print();
+  std::printf("\n");
+  return all_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench::ParseArgs(argc, argv);
+  const auto g = bench::MakeGraph(args.graph, args);
+  const auto log = bench::MakeSyntheticLog(g, args);
+  std::printf("== Online reconfiguration: pause and post-resize throughput "
+              "(scale=%g, days=%g) ==\n", args.scale, args.days);
+  std::printf("users=%u requests=%zu (%llu reads, %llu writes)\n\n",
+              g.num_users(), log.requests.size(),
+              static_cast<unsigned long long>(log.num_reads),
+              static_cast<unsigned long long>(log.num_writes));
+
+  std::string csv = kCsvHeader;
+  bool ok = ReportMode(g, log, /*adaptive=*/false, args, &csv);
+  ok = ReportMode(g, log, /*adaptive=*/true, args, &csv) && ok;
+
+  bench::SaveCsv(args, "runtime_reconfig", csv);
+  return ok ? 0 : 1;
+}

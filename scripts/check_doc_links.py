@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Docs link check: every relative markdown link in README.md and docs/
+must resolve to a file or directory in the repository. External links
+(scheme://) are skipped. Exit code 1 lists the broken links; used as a CI
+step so docs and code paths cannot drift apart silently."""
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+# [text](target) and [text](target#anchor); skips images' URLs too.
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def markdown_files():
+    for md in sorted(ROOT.glob("*.md")):
+        yield md
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def main() -> int:
+    broken = []
+    checked_files = 0
+    checked_links = 0
+    for md in markdown_files():
+        checked_files += 1
+        for target in LINK.findall(md.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            checked_links += 1
+            if not (md.parent / target).resolve().exists():
+                broken.append(f"{md.relative_to(ROOT)}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked_links} relative links in {checked_files} "
+          f"markdown files: {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -537,6 +537,63 @@ void Engine::DropReplica(ViewId v, ServerId s, SimTime t) {
   NotifyRoutingChange(v, closest_scratch_, t);
 }
 
+// ----- Online reconfiguration (state hand-off between shard engines) -----
+
+ViewStateSnapshot Engine::ExportViewState(ViewId v) const {
+  ViewStateSnapshot snap;
+  snap.view = v;
+  const ViewInfo& info = registry_.info(v);
+  snap.read_proxy = info.read_proxy;
+  snap.write_proxy = info.write_proxy;
+  snap.last_change_slot = info.last_change_slot;
+  snap.replicas.reserve(info.replicas.size());
+  for (ServerId s : info.replicas) {
+    const store::ReplicaStats* stats = servers_[s].Find(v);
+    assert(stats != nullptr);
+    ViewStateSnapshot::Replica replica;
+    replica.server = s;
+    replica.stats = *stats;
+    replica.utility = servers_[s].utility(v);
+    if (config_.store.payload_mode) {
+      if (const store::ViewData* data = servers_[s].FindData(v)) {
+        const auto events = data->events();
+        replica.events.assign(events.begin(), events.end());
+      }
+    }
+    snap.replicas.push_back(std::move(replica));
+  }
+  return snap;
+}
+
+void Engine::ImportViewState(const ViewStateSnapshot& snap) {
+  const ViewId v = snap.view;
+  ViewInfo& info = registry_.info(v);
+  for (ServerId s : info.replicas) {
+    servers_[s].Erase(v);
+    TouchServer(s);
+  }
+  info.replicas.clear();
+  for (const ViewStateSnapshot::Replica& replica : snap.replicas) {
+    const bool inserted = servers_[replica.server].Insert(v, /*force=*/true);
+    assert(inserted);
+    (void)inserted;
+    TouchServer(replica.server);
+    registry_.AddReplica(v, replica.server);
+    store::ReplicaStats* stats = servers_[replica.server].Find(v);
+    assert(stats != nullptr);
+    *stats = replica.stats;
+    servers_[replica.server].set_utility(v, replica.utility);
+    if (config_.store.payload_mode && !replica.events.empty()) {
+      if (store::ViewData* data = servers_[replica.server].FindData(v)) {
+        data->ReplaceWith(replica.events);
+      }
+    }
+  }
+  info.read_proxy = snap.read_proxy;
+  info.write_proxy = snap.write_proxy;
+  info.last_change_slot = snap.last_change_slot;
+}
+
 // ----- Periodic maintenance (§3.2) -----
 
 void Engine::RecomputeUtilities(ServerId s) {

@@ -37,6 +37,29 @@ struct EngineConfig {
   std::uint32_t slot_seconds = static_cast<std::uint32_t>(kSecondsPerHour);
 };
 
+// A view's complete per-engine state, exported from the engine that owns
+// the view and imported into another engine when shard ownership changes
+// (rt::ShardedRuntime::Reconfigure). The shard engines all model the *same*
+// physical cluster, so the hand-off is a bookkeeping transfer of authority,
+// not simulated data movement: replica placement, per-replica access
+// statistics (rotating counters), utilities, proxies, the adaptation
+// cooldown, and — in payload mode — the cached events all travel so the new
+// owner continues exactly where the old one left off.
+struct ViewStateSnapshot {
+  struct Replica {
+    ServerId server = kInvalidServer;
+    store::ReplicaStats stats{0};
+    double utility = 0;
+    std::vector<store::Event> events;  // payload mode only
+  };
+
+  ViewId view = kInvalidView;
+  BrokerId read_proxy = kInvalidBroker;
+  BrokerId write_proxy = kInvalidBroker;
+  std::uint32_t last_change_slot = 0;
+  std::vector<Replica> replicas;  // sorted by server id (registry order)
+};
+
 struct EngineCounters {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -133,6 +156,29 @@ class Engine {
   // and admission thresholds, drops negative-utility replicas, and runs the
   // proactive eviction sweep (§3.2). Call once per slot_seconds.
   void Tick(SimTime t);
+
+  // ----- Online reconfiguration (used by rt::ShardedRuntime) -----
+  //
+  // Epoch-boundary only: both calls assume the caller is the sole thread
+  // touching either engine (the runtime quiesces every worker first), and
+  // neither charges simulated traffic — see ViewStateSnapshot.
+
+  // Snapshots everything this engine knows about `v` so another engine can
+  // take over its maintenance and request execution.
+  ViewStateSnapshot ExportViewState(ViewId v) const;
+
+  // Replaces this engine's (stale, non-authoritative) copy of the snapshot's
+  // view with the exported state: the old replicas are erased and the
+  // authoritative replica set is installed verbatim, forcing inserts past a
+  // full server if occupancies diverged (the next tick's watermark sweep
+  // restores the bound for maintained views).
+  void ImportViewState(const ViewStateSnapshot& snap);
+
+  // Maintenance slot index, advanced by Tick. A freshly built engine joining
+  // a run mid-way (shard split) must be seeded with its peers' slot so
+  // cooldown comparisons against ViewInfo::last_change_slot stay aligned.
+  std::uint32_t current_slot() const { return current_slot_; }
+  void SeedSlot(std::uint32_t slot) { current_slot_ = slot; }
 
   // ----- Cluster and user management -----
 

@@ -14,6 +14,15 @@
 //
 // All operations are non-blocking; a full channel returns false from
 // TrySend and the caller keeps (and keeps coalescing into) the batch.
+//
+// Thread-safety contract: each (src, dst) channel is a strict SPSC pair —
+// shard src's worker is the channel's only producer, shard dst's worker its
+// only consumer; no method is safe to call from any other thread. A fabric
+// instance is fixed at `num_shards()`: online reconfiguration does not
+// resize a fabric but *replaces* it (ShardedRuntime swaps in a fabric built
+// for the new shard set). That swap is epoch-boundary-only — it is safe
+// exactly when every worker is quiescent and every channel is empty, which
+// the boundary drain guarantees.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +77,10 @@ class Fabric {
   // without popping still-fresh batches.
   virtual std::uint64_t OldestDispatchNs(std::uint32_t src,
                                          std::uint32_t dst) = 0;
+
+  // The shard count this fabric was built for — immutable for the fabric's
+  // lifetime (see the reconfiguration note above).
+  virtual std::uint32_t num_shards() const = 0;
 
   virtual const char* name() const = 0;
 };

@@ -48,6 +48,8 @@ class MutexFabric final : public Fabric {
     return ch.batches.front().ops.front().dispatch_ns;
   }
 
+  std::uint32_t num_shards() const override { return num_shards_; }
+
   const char* name() const override { return "mutex"; }
 
  private:

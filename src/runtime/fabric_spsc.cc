@@ -40,6 +40,8 @@ class SpscFabric final : public Fabric {
     return front == nullptr ? 0 : front->ops.front().dispatch_ns;
   }
 
+  std::uint32_t num_shards() const override { return num_shards_; }
+
   const char* name() const override { return "spsc"; }
 
  private:

@@ -1,7 +1,14 @@
 // Configuration for the sharded serving runtime.
+//
+// A RuntimeConfig is a plain value: copy it freely, validate with
+// Validate(). ShardedRuntime copies it at construction; mutating a config
+// after constructing a runtime has no effect. The shard count it carries is
+// only the *initial* topology — ShardedRuntime::Reconfigure changes the
+// live shard count at epoch boundaries without a new config.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "common/types.h"
 #include "runtime/fabric.h"
@@ -26,7 +33,7 @@ enum class DrainPolicy : std::uint8_t {
 struct RuntimeConfig {
   // Worker shards, each backed by its own core::Engine. 1 means the
   // single-shard configuration whose counters must match the sequential
-  // engine exactly. Must be >= 1 (validated at construction).
+  // engine exactly. Valid range: >= 1 (see Validate).
   std::uint32_t num_shards = 1;
 
   // How the user/view id space maps onto shards.
@@ -36,12 +43,13 @@ struct RuntimeConfig {
   // dispatcher blocks (backpressure bound, in batches not requests). Also
   // sizes the fabric's per-channel capacity: the epoch protocol fully
   // drains every channel while producers are quiescent, so queue_depth + 2
-  // batches per channel never blocks an epoch-boundary flush. Must be >= 1.
+  // batches per channel never blocks an epoch-boundary flush. Valid range:
+  // >= 1 (see Validate).
   std::uint32_t queue_depth = 64;
 
   // Requests per task batch pushed into a shard queue. Batching amortizes
   // the queue handoff; the engine work per request dwarfs it at this size.
-  // Must be >= 1 (validated at construction).
+  // Valid range: >= 1 (see Validate).
   std::uint32_t batch_size = 128;
 
   // Epoch length in simulated seconds: cross-shard channels are fully
@@ -49,8 +57,9 @@ struct RuntimeConfig {
   // engine's slot_seconds so tick times land on boundaries; 0 means "one
   // epoch per engine slot". Values that do not divide slot_seconds are
   // rounded down to the nearest divisor; a value that rounds down to 0
-  // (only possible when the engine's slot_seconds is 0) is rejected at
-  // construction.
+  // (only possible when the engine's slot_seconds is 0) is rejected by
+  // ShardedRuntime's constructor, which knows the engine slot — Validate()
+  // cannot check it here.
   SimTime epoch_seconds = 0;
 
   // Cross-shard transport: lock-free SPSC rings (the default) or the
@@ -64,7 +73,8 @@ struct RuntimeConfig {
   // kEager only: minimum wall-clock age (microseconds) of a channel's
   // oldest pending op before a mid-epoch poll serves it. 0 serves remote
   // slices as soon as a poll observes them; a large bound degenerates to
-  // kEpoch behavior (everything waits for the boundary drain).
+  // kEpoch behavior (everything waits for the boundary drain). Any value is
+  // valid: the staleness arithmetic saturates instead of wrapping.
   std::uint64_t staleness_micros = 0;
 
   // false selects the deterministic inline fallback: the same epoch state
@@ -72,6 +82,29 @@ struct RuntimeConfig {
   // or locks involved. Produces byte-identical results to the threaded
   // path under kEpoch (which is itself deterministic by construction).
   bool spawn_threads = true;
+
+  // Checks every statically checkable range above, throwing
+  // std::invalid_argument whose message names the offending field. The
+  // checks sit next to the documented ranges on purpose — update both
+  // together. ShardedRuntime calls this at construction; call it yourself
+  // to fail fast when configs come from flags or files.
+  void Validate() const {
+    if (num_shards == 0) {
+      throw std::invalid_argument(
+          "RuntimeConfig::num_shards must be at least 1 (0 shards cannot own "
+          "the id space)");
+    }
+    if (queue_depth == 0) {
+      throw std::invalid_argument(
+          "RuntimeConfig::queue_depth must be at least 1 (the dispatcher "
+          "needs one in-flight task batch per shard)");
+    }
+    if (batch_size == 0) {
+      throw std::invalid_argument(
+          "RuntimeConfig::batch_size must be at least 1 (0 requests per task "
+          "batch would never flush)");
+    }
+  }
 };
 
 }  // namespace dynasore::rt

@@ -2,6 +2,15 @@
 // hot users evenly (the default); range sharding keeps contiguous id blocks
 // together, which preserves whatever locality the id assignment carries and
 // makes shard ownership trivially explainable.
+//
+// Ownership and thread-safety: a ShardMap is an immutable value after
+// construction — shard_of is const, allocation-free, and safe to call from
+// any thread concurrently. Online reconfiguration never mutates a map; the
+// runtime builds a map for the new shard count and swaps it in at an epoch
+// boundary (the only point where workers are quiescent), so any map a
+// worker observes is internally consistent. Copies are cheap (three scalar
+// fields) — the maintenance-ownership predicates capture the map by value
+// for exactly this reason.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,11 @@ class ShardMap {
     if (block_ == 0) block_ = 1;
   }
 
+  // Owner of user/view id `u`: always in [0, num_shards()). Deterministic
+  // and stable for the lifetime of the map — shard assignment is part of
+  // the runtime's deterministic contract. Ids past the construction-time
+  // num_users still resolve (hash mode by construction; range mode clamps
+  // to the last shard).
   std::uint32_t shard_of(UserId u) const {
     if (mode_ == ShardingMode::kRange) {
       const std::uint32_t s = u / block_;

@@ -56,6 +56,11 @@ void ShardedRuntime::Gate::WaitFor(std::uint32_t n) {
   arrived_ = 0;
 }
 
+void ShardedRuntime::Gate::Reset() {
+  std::lock_guard lock(mutex_);
+  arrived_ = 0;
+}
+
 // ----- Construction -----
 
 ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
@@ -65,24 +70,11 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
                                const RuntimeConfig& config)
     : graph_(&g),
       topo_(topo),
+      initial_(initial),
       engine_config_(engine_config),
       config_(config),
       map_(config.num_shards, g.num_users(), config.sharding) {
-  if (config.num_shards == 0) {
-    throw std::invalid_argument(
-        "RuntimeConfig::num_shards must be at least 1 (0 shards cannot own "
-        "the id space)");
-  }
-  if (config.queue_depth == 0) {
-    throw std::invalid_argument(
-        "RuntimeConfig::queue_depth must be at least 1 (the dispatcher needs "
-        "one in-flight task batch per shard)");
-  }
-  if (config.batch_size == 0) {
-    throw std::invalid_argument(
-        "RuntimeConfig::batch_size must be at least 1 (0 requests per task "
-        "batch would never flush)");
-  }
+  config.Validate();
   epoch_ = RoundEpochToSlotDivisor(config.epoch_seconds,
                                    engine_config.slot_seconds);
   if (epoch_ == 0) {
@@ -93,7 +85,7 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
   }
 
   // Shard engines maintain only their owned partition (see
-  // SetMaintenanceOwner below), so a non-owner engine never consults a
+  // InstallMaintenanceOwners), so a non-owner engine never consults a
   // view's write statistics — the coherence fan-out is only needed when
   // payloads must stay readable everywhere.
   replicate_writes_ =
@@ -109,18 +101,33 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
   fabric_ = MakeFabric(config_.transport, n, config_.queue_depth + 2);
   shards_.reserve(n);
   for (std::uint32_t s = 0; s < n; ++s) {
-    auto shard = std::make_unique<Shard>(config_.queue_depth);
-    shard->id = s;
-    shard->engine =
-        std::make_unique<core::Engine>(topo_, initial, engine_config_);
+    shards_.push_back(MakeShard(s));
+    shards_.back()->outbox.resize(n);
+  }
+  InstallMaintenanceOwners();
+}
+
+std::unique_ptr<ShardedRuntime::Shard> ShardedRuntime::MakeShard(
+    std::uint32_t id) {
+  auto shard = std::make_unique<Shard>(config_.queue_depth);
+  shard->id = id;
+  shard->engine =
+      std::make_unique<core::Engine>(topo_, initial_, engine_config_);
+  if (persist_ != nullptr) shard->engine->AttachPersistentStore(persist_);
+  return shard;
+}
+
+void ShardedRuntime::InstallMaintenanceOwners() {
+  const std::uint32_t n = map_.num_shards();
+  for (auto& shard : shards_) {
     if (n > 1) {
       // Each engine adapts and evicts only the views this shard owns; the
-      // other shards' views keep their initial replicas here.
+      // other shards' views keep their last-known replicas here.
       shard->engine->SetMaintenanceOwner(
-          [map = map_, s](ViewId v) { return map.shard_of(v) == s; });
+          [map = map_, s = shard->id](ViewId v) { return map.shard_of(v) == s; });
+    } else {
+      shard->engine->SetMaintenanceOwner({});  // sole shard maintains all
     }
-    shard->outbox.resize(n);
-    shards_.push_back(std::move(shard));
   }
 }
 
@@ -133,7 +140,164 @@ ShardedRuntime::~ShardedRuntime() {
 
 void ShardedRuntime::AttachPersistentStore(
     const persist::PersistentStore* persist) {
+  persist_ = persist;  // engines spawned by a later split attach too
   for (auto& shard : shards_) shard->engine->AttachPersistentStore(persist);
+}
+
+// ----- Online reconfiguration -----
+
+void ShardedRuntime::Reconfigure(std::uint32_t new_shard_count) {
+  if (new_shard_count == 0) {
+    throw std::invalid_argument(
+        "ShardedRuntime::Reconfigure: new_shard_count must be at least 1 (0 "
+        "shards cannot own the id space)");
+  }
+  std::lock_guard lock(reconfig_mutex_);
+  if (running_) {
+    pending_shards_ = new_shard_count;  // applied at the next epoch boundary
+  } else {
+    ApplyReconfigure(new_shard_count, /*threaded=*/false, /*epoch_end=*/0);
+  }
+}
+
+void ShardedRuntime::ShardAggregates::Fold(const Shard& shard) {
+  counters += shard.engine->counters();
+  totals += shard.stats;
+  request_latency.Merge(shard.request_latency);
+  remote_latency.Merge(shard.remote_latency);
+  const net::TrafficRecorder& traffic = shard.engine->traffic();
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    const auto t = static_cast<net::Tier>(tier);
+    traffic_app[tier] += traffic.TierTotal(t, net::MsgClass::kApp);
+    traffic_sys[tier] += traffic.TierTotal(t, net::MsgClass::kSystem);
+  }
+}
+
+void ShardedRuntime::ShardAggregates::Fold(const ShardAggregates& other) {
+  counters += other.counters;
+  totals += other.totals;
+  request_latency.Merge(other.request_latency);
+  remote_latency.Merge(other.remote_latency);
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    traffic_app[tier] += other.traffic_app[tier];
+    traffic_sys[tier] += other.traffic_sys[tier];
+  }
+}
+
+void ShardedRuntime::RequestShutdown(Shard& shard) {
+  Task task;
+  task.kind = Task::Kind::kShutdown;
+  shard.tasks.Push(std::move(task));
+}
+
+void ShardedRuntime::ShutdownWorkers() {
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) RequestShutdown(*shard);
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedRuntime::RetireShard(Shard& shard) {
+  if (shard.worker.joinable()) {
+    RequestShutdown(shard);
+    shard.worker.join();
+  }
+  retired_.Fold(shard);
+}
+
+void ShardedRuntime::ApplyReconfigure(std::uint32_t new_count, bool threaded,
+                                      SimTime epoch_end) {
+  const std::uint32_t old_n = map_.num_shards();
+  if (new_count == old_n) return;
+  const std::uint64_t t0 = NowNs();
+  ShardMap new_map(new_count, graph_->num_users(), config_.sharding);
+  // Build the replacement communication plane up front: with the fabric
+  // and the new shard engines (below) allocated before the commit point,
+  // an allocation failure unwinds before any ownership changes hands.
+  auto new_fabric =
+      MakeFabric(config_.transport, new_count, config_.queue_depth + 2);
+
+  // Split: spawn the new shards first so every new owner's engine exists
+  // before the hand-off. Their maintenance slot is seeded from a surviving
+  // engine (ticks are broadcast, so all engines agree on the slot).
+  const std::uint32_t slot = shards_.front()->engine->current_slot();
+  std::uint64_t migrated = 0;
+  try {
+    for (std::uint32_t s = old_n; s < new_count; ++s) {
+      shards_.push_back(MakeShard(s));
+      shards_.back()->engine->SeedSlot(slot);
+    }
+
+    // Hand authority for every view whose owner changes to the new owner's
+    // engine. The old owner keeps a frozen copy, exactly like any non-owned
+    // view under static sharding.
+    for (ViewId v = 0; v < graph_->num_users(); ++v) {
+      const std::uint32_t a = map_.shard_of(v);
+      const std::uint32_t b = new_map.shard_of(v);
+      if (a == b) continue;
+      shards_[b]->engine->ImportViewState(
+          shards_[a]->engine->ExportViewState(v));
+      ++migrated;
+    }
+  } catch (...) {
+    // Unwind to a safe state: drop any shards this resize added. Imports
+    // that already landed need no undo — exports never mutate the source
+    // engine and ownership (map_, committed below) is unchanged, so a
+    // *surviving* engine that imported state merely holds a fresher
+    // non-authoritative copy of a view it still does not own (the same
+    // class of staleness as any non-owned view), while copies imported
+    // into the dropped new shards vanish with them.
+    while (shards_.size() > old_n) shards_.pop_back();
+    throw;
+  }
+
+  // Commit point: from here on only small bookkeeping allocations remain
+  // and the new topology is internally consistent at every step.
+  map_ = std::move(new_map);
+  replicate_writes_ =
+      new_count > 1 && engine_config_.store.payload_mode;
+  InstallMaintenanceOwners();
+  // Rewire the communication plane to the new shard set. Every channel is
+  // empty here (the boundary drain ran while producers were quiescent) and
+  // every outbox was flushed, so nothing in flight is lost.
+  fabric_ = std::move(new_fabric);
+  for (auto& shard : shards_) shard->outbox.assign(new_count, Outbox{});
+
+  // Merge: retire surplus shards — after the commit, so the map never names
+  // engines that no longer exist. Their counters, traffic and histograms
+  // move into the retained accumulators (so merged results keep conserving)
+  // and their workers shut down; surviving workers are untouched.
+  try {
+    while (shards_.size() > new_count) {
+      RetireShard(*shards_.back());
+      shards_.pop_back();
+    }
+  } catch (...) {
+    // A failed fold can no longer conserve (the throwing shard's counters
+    // may be half-merged), but the topology invariant — shards_.size() ==
+    // map_.num_shards() == fabric_->num_shards() — must hold or the next
+    // Run's surplus workers would index the smaller fabric out of bounds.
+    // Drop the remaining surplus without folding, releasing each worker
+    // through the non-allocating queue-close path.
+    while (shards_.size() > new_count) {
+      Shard& doomed = *shards_.back();
+      doomed.tasks.Close();
+      if (doomed.worker.joinable()) doomed.worker.join();
+      shards_.pop_back();
+    }
+    throw;
+  }
+  if (threaded) {
+    for (std::uint32_t s = old_n; s < new_count; ++s) {
+      Shard* sp = shards_[s].get();
+      sp->worker = std::thread([this, sp] { WorkerLoop(*sp); });
+    }
+  }
+
+  reconfig_events_.push_back(
+      ReconfigEvent{epoch_end, old_n, new_count, migrated, NowNs() - t0});
 }
 
 core::Engine& ShardedRuntime::shard_engine(std::uint32_t shard) {
@@ -387,7 +551,51 @@ void ShardedRuntime::WorkerLoop(Shard& shard) {
 RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
                                   std::span<const wl::FlashEvent> flash) {
   flash_ = flash;
-  const std::uint32_t n = map_.num_shards();
+
+  // Leaves the runtime reusable if the run unwinds anywhere after this
+  // point — a throwing epoch hook (which fires at a boundary where every
+  // worker is parked, so an orderly shutdown is always possible), a failed
+  // worker spawn, an allocation failure. Disarmed on normal completion:
+  // the success path joins workers itself and must keep any late pending
+  // request alive for the run-end apply.
+  struct AbortGuard {
+    ShardedRuntime* rt;
+    bool armed = true;
+    ~AbortGuard() {
+      if (!armed) return;
+      rt->ShutdownWorkers();
+      // A mid-epoch abort can strand arrivals in the gate, batches staged
+      // in outboxes, and batches in flight in the rings; scrub all three so
+      // a later Run starts from a clean plane. Safe and non-allocating:
+      // every worker is joined, so this thread owns all channel endpoints.
+      rt->gate_.Reset();
+      for (auto& shard : rt->shards_) {
+        for (Outbox& ob : shard->outbox) {
+          ob.batch.ops.clear();
+          ob.batch.targets.clear();
+          ob.last_seq = kNoSeq;
+        }
+      }
+      const std::uint32_t fabric_shards = rt->fabric_->num_shards();
+      for (std::uint32_t src = 0; src < fabric_shards; ++src) {
+        for (std::uint32_t dst = 0; dst < fabric_shards; ++dst) {
+          while (rt->fabric_->TryRecv(src, dst).has_value()) {
+          }
+        }
+      }
+      rt->flash_ = {};
+      std::lock_guard lock(rt->reconfig_mutex_);
+      rt->running_ = false;
+      rt->pending_shards_ = 0;  // the aborted run's request dies with it
+    }
+  } abort_guard{this};
+
+  {
+    std::lock_guard lock(reconfig_mutex_);
+    running_ = true;
+  }
+  // Refreshed after every applied reconfiguration.
+  std::uint32_t n = map_.num_shards();
   const SimTime slot = engine_config_.slot_seconds;
   const SimTime epoch = epoch_;
   const bool threaded = config_.spawn_threads;
@@ -408,6 +616,7 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       log.duration, requests.empty() ? SimTime{0} : requests.back().time);
   SimTime next_tick = slot;
   std::uint64_t seq = 0;
+  std::uint64_t epoch_index = 0;
   std::size_t i = 0;
   const std::size_t batch_size = config_.batch_size;
   std::vector<std::vector<SeqRequest>> staging(n);
@@ -450,19 +659,24 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
     }
 
     if (threaded) {
+      // One arrival per boundary task pushed below. shards_.size() == n on
+      // every path (ApplyReconfigure restores the invariant even when it
+      // unwinds), but deriving the count from the same container the push
+      // loops iterate keeps the barrier matched by construction.
+      const auto arrivals = static_cast<std::uint32_t>(shards_.size());
       for (auto& shard : shards_) {
         Task task;
         task.kind = Task::Kind::kEndEpoch;
         shard->tasks.Push(std::move(task));
       }
-      gate_.WaitFor(n);
+      gate_.WaitFor(arrivals);
       for (auto& shard : shards_) {
         Task task;
         task.kind = Task::Kind::kDrainEpoch;
         task.ticks = ticks;
         shard->tasks.Push(std::move(task));
       }
-      gate_.WaitFor(n);
+      gate_.WaitFor(arrivals);
     } else {
       // Inline epoch-boundary flush. A full channel (kEager only) needs its
       // *destination* drained, so the retry loop alternates serving every
@@ -483,44 +697,74 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       }
     }
 
+    // The boundary is the runtime's quiescent point: every request
+    // dispatched so far has executed, every channel is empty, every worker
+    // is parked on its task queue. Fire the hook, then apply any pending
+    // reconfiguration while that holds.
+    if (epoch_hook_) epoch_hook_(epoch_end, epoch_index);
+    ++epoch_index;
+    std::uint32_t pending = 0;
+    {
+      std::lock_guard lock(reconfig_mutex_);
+      pending = pending_shards_;
+      pending_shards_ = 0;
+    }
+    if (pending != 0 && pending != n) {
+      ApplyReconfigure(pending, threaded, epoch_end);
+      n = map_.num_shards();
+      staging.resize(n);  // all staged batches were flushed pre-boundary
+    }
+
     if (i == requests.size() && next_tick > tick_limit) break;
   }
-
-  if (threaded) {
-    for (auto& shard : shards_) {
-      Task task;
-      task.kind = Task::Kind::kShutdown;
-      shard->tasks.Push(std::move(task));
-    }
-    for (auto& shard : shards_) shard->worker.join();
-  }
+  abort_guard.armed = false;
+  if (threaded) ShutdownWorkers();
 
   const std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - t0;
   flash_ = {};
 
+  // Merge before clearing running_: while running_ holds, a concurrent
+  // Reconfigure only records a pending request, so shards_ is stable here.
   RuntimeResult result = MergeResults(wall.count());
   result.expected_requests = requests.size();
+
+  {
+    std::lock_guard lock(reconfig_mutex_);
+    running_ = false;
+    // A request that arrived after the run's last epoch boundary has no
+    // boundary left to ride; apply it now (the between-runs path) instead
+    // of leaking it into the next Run's first boundary. Holding the lock
+    // keeps it ordered against concurrent between-runs Reconfigure calls.
+    const std::uint32_t leftover = pending_shards_;
+    pending_shards_ = 0;
+    if (leftover != 0) {
+      ApplyReconfigure(leftover, /*threaded=*/false, /*epoch_end=*/0);
+    }
+  }
   return result;
 }
 
 RuntimeResult ShardedRuntime::MergeResults(double wall_seconds) const {
   RuntimeResult result;
   result.wall_seconds = wall_seconds;
+  result.reconfig_events = reconfig_events_;
+  // Shards retired by a merge reconfiguration are part of the aggregate
+  // totals (conservation) but have no per-shard row; live shards fold
+  // through the same path so the two cannot drift.
+  ShardAggregates agg;
+  agg.Fold(retired_);
   for (const auto& shard : shards_) {
     result.shard_counters.push_back(shard->engine->counters());
-    result.counters += shard->engine->counters();
     result.shard_stats.push_back(shard->stats);
-    result.totals += shard->stats;
-    result.request_latency.Merge(shard->request_latency);
-    result.remote_latency.Merge(shard->remote_latency);
-    const net::TrafficRecorder& traffic = shard->engine->traffic();
-    for (int tier = 0; tier < net::kNumTiers; ++tier) {
-      const auto t = static_cast<net::Tier>(tier);
-      result.traffic_app[tier] += traffic.TierTotal(t, net::MsgClass::kApp);
-      result.traffic_sys[tier] += traffic.TierTotal(t, net::MsgClass::kSystem);
-    }
+    agg.Fold(*shard);
   }
+  result.counters = agg.counters;
+  result.totals = agg.totals;
+  result.request_latency = std::move(agg.request_latency);
+  result.remote_latency = std::move(agg.remote_latency);
+  result.traffic_app = agg.traffic_app;
+  result.traffic_sys = agg.traffic_sys;
   result.completion_latency = result.request_latency;
   result.completion_latency.Merge(result.remote_latency);
   result.request_percentiles = SummarizeLatency(result.request_latency);

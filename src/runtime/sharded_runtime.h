@@ -30,11 +30,24 @@
 // dispatch-to-local-completion into its LatencyHistogram, and every remote
 // slice records dispatch-to-applied on the serving shard — so the merged
 // completion percentiles expose exactly the tail the epoch drain hides.
+//
+// Online reconfiguration: Reconfigure(n) requests a shard-count change that
+// takes effect at the next epoch boundary — the deterministic drain point
+// where every worker is quiescent and every fabric channel is empty. The
+// runtime then splits or merges shard ownership in place: new shard engines
+// are spawned (split) or surplus shards retired (merge, their counters and
+// histograms folded into retained accumulators so merged totals keep
+// conserving), every view whose owner changes hands over its engine state
+// (Engine::ExportViewState/ImportViewState), the per-(source, destination)
+// fabric is rebuilt for the new shard set, and the run resumes — surviving
+// worker threads are never restarted and no request is dropped. See
+// docs/architecture.md for the full state machine.
 #pragma once
 
 #include <array>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -97,11 +110,32 @@ struct LatencyPercentiles {
 
 LatencyPercentiles SummarizeLatency(const common::LatencyHistogram& h);
 
+// One applied shard-count change (RuntimeResult::reconfig_events).
+struct ReconfigEvent {
+  SimTime epoch_end = 0;  // boundary it fired at; 0 when applied between runs
+  std::uint32_t from_shards = 0;
+  std::uint32_t to_shards = 0;
+  std::uint64_t views_migrated = 0;  // views whose owning shard changed
+  // Wall-clock the dispatcher spent applying the change while every worker
+  // was quiesced — the serving pause the reconfiguration costs.
+  std::uint64_t pause_ns = 0;
+};
+
 struct RuntimeResult {
-  core::EngineCounters counters;  // merged across shard engines
+  // Merged across shard engines. With reconfiguration, counters/totals and
+  // the traffic and latency aggregates below also include the retained
+  // contributions of retired shards; the per-shard vectors cover only the
+  // shard set that finished the run.
+  core::EngineCounters counters;
   std::vector<core::EngineCounters> shard_counters;
   ShardStats totals;
   std::vector<ShardStats> shard_stats;
+  // Applied shard-count changes, in order, accumulated over the runtime's
+  // lifetime: a run's result also re-reports changes applied before it
+  // (between-runs events carry epoch_end 0). Empty iff this runtime never
+  // reconfigured; to detect a resize within one run, diff against the
+  // previous result's event count.
+  std::vector<ReconfigEvent> reconfig_events;
   // Merged per-tier message totals across shard engines (net::Tier index).
   std::array<std::uint64_t, net::kNumTiers> traffic_app{};
   std::array<std::uint64_t, net::kNumTiers> traffic_sys{};
@@ -145,6 +179,34 @@ class ShardedRuntime {
 
   void AttachPersistentStore(const persist::PersistentStore* persist);
 
+  // ----- Online reconfiguration (epoch-boundary split/merge) -----
+
+  // Requests a shard-count change. Thread-safe: may be called from any
+  // thread — including from an epoch hook, the deterministic way to
+  // schedule it — while Run is in progress, in which case it takes effect
+  // at the next epoch boundary; outside a run it applies immediately. A
+  // request that lands after a run's last boundary is applied when that
+  // run completes (never deferred to a later run). The latest request
+  // within an epoch wins; requesting the current count is a no-op. Throws
+  // std::invalid_argument for 0. If an exception unwinds Run (e.g. a
+  // throwing epoch hook), a request not yet applied is dropped with the
+  // aborted run — re-request after Run rethrows if it should still happen.
+  void Reconfigure(std::uint32_t new_shard_count);
+
+  // Called on the dispatching thread at every epoch boundary, after the
+  // boundary drain completes and before any pending reconfiguration is
+  // applied: `epoch_end` is the boundary's simulated time, `epoch_index`
+  // counts boundaries from 0 within the current Run. Install before Run
+  // (not thread-safe against a run in progress).
+  using EpochHook =
+      std::function<void(SimTime epoch_end, std::uint64_t epoch_index)>;
+  void SetEpochHook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
+  // Topology accessors. Unlike Reconfigure these are NOT thread-safe: call
+  // them only from the thread driving Run/Reconfigure (or with external
+  // ordering against both). Returned engine/map/fabric references are
+  // invalidated by any reconfiguration — a merge destroys retired shards'
+  // engines, and the fabric is replaced wholesale.
   core::Engine& shard_engine(std::uint32_t shard);
   const ShardMap& shard_map() const { return map_; }
   const RuntimeConfig& config() const { return config_; }
@@ -179,6 +241,7 @@ class ShardedRuntime {
    public:
     void Arrive();
     void WaitFor(std::uint32_t n);  // blocks, then resets the count
+    void Reset();  // drops stale arrivals left by an aborted run
 
    private:
     std::mutex mutex_;
@@ -216,6 +279,41 @@ class ShardedRuntime {
     std::vector<DrainRef> drain_order;
   };
 
+  // The aggregate slice of a RuntimeResult one shard contributes. Both the
+  // retired-shard accumulator and MergeResults fold through here, so the
+  // conservation invariant cannot drift between the two paths when a new
+  // per-shard metric is added.
+  struct ShardAggregates {
+    core::EngineCounters counters;
+    ShardStats totals;
+    common::LatencyHistogram request_latency;
+    common::LatencyHistogram remote_latency;
+    std::array<std::uint64_t, net::kNumTiers> traffic_app{};
+    std::array<std::uint64_t, net::kNumTiers> traffic_sys{};
+
+    void Fold(const Shard& shard);
+    void Fold(const ShardAggregates& other);
+  };
+
+  // Builds one shard (engine over the stored initial placement, task queue,
+  // outboxes are sized by the caller).
+  std::unique_ptr<Shard> MakeShard(std::uint32_t id);
+  // (Re)installs each engine's maintenance-ownership predicate from map_.
+  void InstallMaintenanceOwners();
+  // Pushes a kShutdown task; the worker exits after finishing queued work.
+  static void RequestShutdown(Shard& shard);
+  // Stops every live worker: shutdown tasks first, then joins. Shards with
+  // no running worker (inline mode, spawn failed midway) are left alone so
+  // no stale shutdown task can linger into a later Run.
+  void ShutdownWorkers();
+  // Folds a retiring shard's counters, stats, traffic and histograms into
+  // the retained accumulators and shuts down its worker if one is running.
+  void RetireShard(Shard& shard);
+  // Applies a shard-count change. Epoch-boundary only: every worker must be
+  // quiescent and every fabric channel empty (or no run in progress).
+  void ApplyReconfigure(std::uint32_t new_count, bool threaded,
+                        SimTime epoch_end);
+
   void WorkerLoop(Shard& shard);
   void ExecuteRequest(Shard& shard, const SeqRequest& sr);
   // Ships every non-empty outbox batch that fits its channel; returns false
@@ -240,15 +338,28 @@ class ShardedRuntime {
 
   const graph::SocialGraph* graph_;
   net::Topology topo_;
+  // Kept so reconfiguration can build fresh shard engines mid-run.
+  place::PlacementResult initial_;
   core::EngineConfig engine_config_;
   RuntimeConfig config_;
   ShardMap map_;
   SimTime epoch_ = 0;  // validated divisor of the engine slot
   bool replicate_writes_ = false;
+  const persist::PersistentStore* persist_ = nullptr;
   std::span<const wl::FlashEvent> flash_;  // valid during Run only
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Gate gate_;
+
+  // Reconfiguration request hand-off (any thread -> dispatcher) and the
+  // retained accumulators of retired shards (dispatcher only, read by
+  // MergeResults).
+  std::mutex reconfig_mutex_;
+  std::uint32_t pending_shards_ = 0;  // 0 = no request pending
+  bool running_ = false;              // a Run is in progress
+  EpochHook epoch_hook_;
+  std::vector<ReconfigEvent> reconfig_events_;
+  ShardAggregates retired_;
 };
 
 }  // namespace dynasore::rt

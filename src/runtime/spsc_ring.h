@@ -11,7 +11,11 @@
 // Thread-safety: exactly one producer thread may call TryPush and exactly
 // one consumer thread may call TryPop/Front. The epoch protocol's flush
 // barrier (all producers quiesce before the drain) makes "pop until empty"
-// a stable observation for the consumer.
+// a stable observation for the consumer. capacity() is safe from anywhere
+// (immutable after construction); construction and destruction must be
+// externally synchronized against both sides — the runtime only creates or
+// destroys rings while every worker is quiescent (construction, or an
+// epoch-boundary fabric swap during online reconfiguration).
 #pragma once
 
 #include <atomic>

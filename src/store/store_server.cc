@@ -92,9 +92,9 @@ StoreServer::StoreServer(ServerId id, const StoreConfig& config)
   assert(config.capacity_views > 0);
 }
 
-bool StoreServer::Insert(ViewId view) {
+bool StoreServer::Insert(ViewId view, bool force) {
   if (Has(view)) return true;
-  if (Full()) return false;
+  if (!force && Full()) return false;
   auto [it, inserted] = replicas_.emplace(view, Entry(config_.counter_slots));
   if (inserted && config_.payload_mode) {
     it->second.data = std::make_unique<ViewData>(config_.max_events_per_view);

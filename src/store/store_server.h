@@ -108,8 +108,12 @@ class StoreServer {
 
   bool Has(ViewId view) const { return replicas_.contains(view); }
 
-  // Inserts an empty replica; fails (returns false) at capacity.
-  bool Insert(ViewId view);
+  // Inserts an empty replica; fails (returns false) at capacity. `force`
+  // admits the replica even on a full server: reconfiguration imports
+  // (core::Engine::ImportViewState) mirror the authoritative owner's replica
+  // set verbatim, and may transiently exceed capacity when the two engines'
+  // occupancies diverged — the watermark sweep restores the bound.
+  bool Insert(ViewId view, bool force = false);
   void Erase(ViewId view);
 
   ReplicaStats* Find(ViewId view);

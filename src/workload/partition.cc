@@ -41,6 +41,40 @@ ShardedRequests PartitionRequests(const RequestLog& log,
   return out;
 }
 
+ShardedRequests PartitionRequestsTimed(const RequestLog& log,
+                                       std::span<const ShardStep> steps) {
+  if (steps.empty()) {
+    return PartitionRequests(log, 1, [](UserId) { return 0u; });
+  }
+  ShardedRequests out;
+  std::uint32_t max_shards = 1;
+  for (const ShardStep& step : steps) {
+    max_shards = std::max(max_shards, step.num_shards);
+  }
+  out.indices.resize(max_shards);
+  out.reads_per_shard.assign(max_shards, 0);
+  out.writes_per_shard.assign(max_shards, 0);
+  std::size_t active = 0;
+  for (std::uint32_t i = 0; i < log.requests.size(); ++i) {
+    const Request& r = log.requests[i];
+    while (active + 1 < steps.size() &&
+           r.time >= steps[active + 1].effective_from) {
+      ++active;
+    }
+    const ShardStep& step = steps[active];
+    const std::uint32_t n = step.num_shards == 0 ? 1 : step.num_shards;
+    std::uint32_t s = step.shard_of ? step.shard_of(r.user) : 0;
+    if (s >= n) s = n - 1;
+    out.indices[s].push_back(i);
+    if (r.op == OpType::kRead) {
+      ++out.reads_per_shard[s];
+    } else {
+      ++out.writes_per_shard[s];
+    }
+  }
+  return out;
+}
+
 std::vector<EpochSlice> SliceByEpoch(const RequestLog& log,
                                      SimTime epoch_seconds) {
   std::vector<EpochSlice> slices;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -34,6 +35,26 @@ struct ShardedRequests {
 ShardedRequests PartitionRequests(const RequestLog& log,
                                   std::uint32_t num_shards,
                                   const ShardFn& shard_of);
+
+// One phase of a reconfiguration schedule: from `effective_from` (sim time,
+// inclusive) onward, ownership follows `shard_of` over `num_shards` shards.
+struct ShardStep {
+  SimTime effective_from = 0;
+  std::uint32_t num_shards = 1;
+  ShardFn shard_of;
+};
+
+// Partitions a log under a time-varying shard map — the reference model for
+// runs of rt::ShardedRuntime that Reconfigure mid-run. Steps must be sorted
+// by effective_from; requests before the first step's time fall into the
+// first step. Align each step's effective_from with the epoch boundary the
+// runtime reconfigures at (the runtime assigns a request by the map current
+// at dispatch, i.e. the map of the epoch containing its timestamp) and the
+// per-shard totals match the runtime's shard_stats exactly. Output vectors
+// are sized to the maximum shard count across steps; a shard that exists in
+// only some phases simply owns nothing elsewhere.
+ShardedRequests PartitionRequestsTimed(const RequestLog& log,
+                                       std::span<const ShardStep> steps);
 
 // Half-open request-index ranges per epoch: slice k covers requests with
 // time in [k*epoch_seconds, (k+1)*epoch_seconds). Covers the whole log.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -720,6 +721,51 @@ TEST(ShardedRuntimeTest, ConstructionRejectsInvalidConfig) {
   EXPECT_THROW(
       ShardedRuntime(g, fx.topo, fx.placement, zero_slot, RuntimeConfig{}),
       std::invalid_argument);
+}
+
+// The messages are part of the contract documented next to the checks in
+// RuntimeConfig::Validate: each names the offending field and its range.
+TEST(ShardedRuntimeTest, ValidationErrorsNameTheOffendingField) {
+  const auto message_of = [](RuntimeConfig config) {
+    try {
+      config.Validate();
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  RuntimeConfig zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_NE(message_of(zero_shards).find("num_shards must be at least 1"),
+            std::string::npos);
+
+  RuntimeConfig zero_queue;
+  zero_queue.queue_depth = 0;
+  EXPECT_NE(message_of(zero_queue).find("queue_depth must be at least 1"),
+            std::string::npos);
+
+  RuntimeConfig zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_NE(message_of(zero_batch).find("batch_size must be at least 1"),
+            std::string::npos);
+
+  EXPECT_NO_THROW(RuntimeConfig{}.Validate());  // defaults are valid
+
+  // The epoch/slot interaction is only checkable with the engine config in
+  // hand, so that message comes from the runtime's constructor.
+  const auto g = TestGraph(400);
+  const RuntimeFixture fx = MakeFixture(g, BaseConfig(/*adaptive=*/false));
+  core::EngineConfig zero_slot = fx.engine;
+  zero_slot.slot_seconds = 0;
+  try {
+    ShardedRuntime runtime(g, fx.topo, fx.placement, zero_slot,
+                           RuntimeConfig{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("epoch_seconds rounds down to 0"),
+              std::string::npos);
+  }
 }
 
 TEST(ShardedRuntimeTest, ValidConfigReportsRoundedEpoch) {
