@@ -40,6 +40,8 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.csv_dir = std::string(value);
     } else if (arg == "--all-graphs") {
       args.all_graphs = true;
+    } else if (arg == "--smoke") {
+      args.smoke = true;
     } else if (ConsumeFlag(arg, "--points=", value)) {
       args.extra_points.clear();
       std::string buffer(value);

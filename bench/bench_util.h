@@ -26,10 +26,13 @@ struct BenchArgs {
   bool all_graphs = false;
   int trials = 5;           // flash-event repetitions
   std::string csv_dir = "bench_results";
+  // CI smoke mode: benches that honor it cap scale/days to a seconds-long
+  // run while keeping their correctness verdict (and its exit code) intact.
+  bool smoke = false;
 };
 
 // Recognized flags: --scale=F --days=F --seed=N --graph=NAME --trials=N
-// --points=A,B,C --all-graphs --csv-dir=PATH. Environment variable
+// --points=A,B,C --all-graphs --smoke --csv-dir=PATH. Environment variable
 // REPRO_SCALE overrides --scale when set.
 BenchArgs ParseArgs(int argc, char** argv);
 

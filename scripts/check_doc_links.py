@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
 """Docs link check: every relative markdown link in README.md and docs/
 must resolve to a file or directory in the repository. External links
-(scheme://) are skipped. Exit code 1 lists the broken links; used as a CI
-step so docs and code paths cannot drift apart silently."""
+(scheme://) are skipped. On top of link resolution, a small required-docs
+contract keeps the operator guides from silently dropping out of the
+navigation: each doc in REQUIRED_DOCS must exist AND be linked from
+README.md, so a new guide (like docs/reconfiguration.md) cannot be
+committed orphaned. Exit code 1 lists the violations; used as a CI step so
+docs and code paths cannot drift apart silently."""
 import pathlib
 import re
 import sys
@@ -10,6 +14,13 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 # [text](target) and [text](target#anchor); skips images' URLs too.
 LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+# Operator-facing guides that must exist and be reachable from README.md.
+REQUIRED_DOCS = [
+    "docs/architecture.md",
+    "docs/benchmarks.md",
+    "docs/reconfiguration.md",
+]
 
 
 def markdown_files():
@@ -20,22 +31,40 @@ def markdown_files():
         yield from sorted(docs.glob("*.md"))
 
 
+def relative_targets(md):
+    for target in LINK.findall(md.read_text(encoding="utf-8")):
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        yield target
+
+
 def main() -> int:
     broken = []
     checked_files = 0
     checked_links = 0
+    readme_targets = set()
     for md in markdown_files():
         checked_files += 1
-        for target in LINK.findall(md.read_text(encoding="utf-8")):
-            if "://" in target or target.startswith("mailto:"):
-                continue
+        for target in relative_targets(md):
             checked_links += 1
-            if not (md.parent / target).resolve().exists():
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
                 broken.append(f"{md.relative_to(ROOT)}: broken link -> {target}")
+            elif md.name == "README.md" and md.parent == ROOT:
+                readme_targets.add(resolved)
+
+    for doc in REQUIRED_DOCS:
+        path = ROOT / doc
+        if not path.exists():
+            broken.append(f"required doc missing: {doc}")
+        elif path.resolve() not in readme_targets:
+            broken.append(f"README.md: required doc not linked -> {doc}")
+
     for line in broken:
         print(line, file=sys.stderr)
     print(f"checked {checked_links} relative links in {checked_files} "
-          f"markdown files: {len(broken)} broken")
+          f"markdown files + {len(REQUIRED_DOCS)} required docs: "
+          f"{len(broken)} problems")
     return 1 if broken else 0
 
 

@@ -594,6 +594,18 @@ void Engine::ImportViewState(const ViewStateSnapshot& snap) {
   info.last_change_slot = snap.last_change_slot;
 }
 
+std::vector<ViewStateSnapshot> Engine::ExportViewStates(
+    std::span<const ViewId> views) const {
+  std::vector<ViewStateSnapshot> snaps;
+  snaps.reserve(views.size());
+  for (ViewId v : views) snaps.push_back(ExportViewState(v));
+  return snaps;
+}
+
+void Engine::ImportViewStates(std::span<const ViewStateSnapshot> snaps) {
+  for (const ViewStateSnapshot& snap : snaps) ImportViewState(snap);
+}
+
 // ----- Periodic maintenance (§3.2) -----
 
 void Engine::RecomputeUtilities(ServerId s) {

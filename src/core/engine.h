@@ -174,6 +174,13 @@ class Engine {
   // restores the bound for maintained views).
   void ImportViewState(const ViewStateSnapshot& snap);
 
+  // Batched hand-off for incremental migration (one call per (exporter,
+  // importer) pair and boundary batch): equivalent to the per-view calls
+  // above, in order, with the snapshot buffer reserved once.
+  std::vector<ViewStateSnapshot> ExportViewStates(
+      std::span<const ViewId> views) const;
+  void ImportViewStates(std::span<const ViewStateSnapshot> snaps);
+
   // Maintenance slot index, advanced by Tick. A freshly built engine joining
   // a run mid-way (shard split) must be seeded with its peers' slot so
   // cooldown comparisons against ViewInfo::last_change_slot stay aligned.

@@ -7,6 +7,7 @@
 // live shard count at epoch boundaries without a new config.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 
@@ -30,10 +31,106 @@ enum class DrainPolicy : std::uint8_t {
   kEager,
 };
 
+// Closed-loop reconfiguration policy (rt::AutoScaler): at every epoch
+// boundary the runtime feeds the scaler the per-epoch ShardStats deltas and
+// it decides whether to split (double, clamped to max_shards), merge (halve,
+// clamped to min_shards), or hold. All thresholds are *per-epoch* values —
+// the scaler only ever sees one epoch's delta, never cumulative counters.
+//
+// Hysteresis, so the loop cannot thrash: (1) after any decision the scaler
+// holds for cooldown_epochs boundaries, (2) a merge additionally requires
+// merge_cold_epochs *consecutive* cold epochs (every shard below
+// merge_shard_ops), and the cold streak resets on any warm epoch or resize,
+// (3) Validate() enforces a dead band between the split and merge load
+// thresholds (merge_shard_ops <= split_shard_ops / 2): halving the shard
+// count doubles per-shard load, so a merge landing exactly at the split
+// threshold would immediately split again. See docs/reconfiguration.md.
+struct AutoScalerConfig {
+  // Off by default: Reconfigure() stays fully operator-driven.
+  bool enabled = false;
+
+  // Shard-count bounds the scaler may move within. The runtime's initial
+  // num_shards need not lie inside them — the scaler just never crosses
+  // them. Valid ranges: min_shards >= 1, max_shards >= min_shards.
+  std::uint32_t min_shards = 1;
+  std::uint32_t max_shards = 8;
+
+  // Boundaries to hold after any split or merge before the next decision,
+  // letting the new layout's per-epoch deltas stabilize. Valid range: any
+  // (0 disables the cooldown; migration windows still gate decisions).
+  std::uint32_t cooldown_epochs = 2;
+
+  // Split when the hottest shard executed at least this many owned requests
+  // in one epoch. 0 disables the load trigger. Valid range: any.
+  std::uint64_t split_shard_ops = 0;
+
+  // Split when the per-epoch imbalance — hottest shard's owned requests
+  // divided by the per-shard mean — reaches this ratio (needs >= 2 shards
+  // and a non-empty epoch). 0 disables. Valid range: 0 or >= 1.0.
+  double split_imbalance = 0.0;
+
+  // Split when any shard's mean task-queue backlog (batches already queued
+  // ahead of each batch the dispatcher pushes, ShardStats::
+  // queue_backlog_sum / task_batches) reaches this depth — the dispatcher
+  // is outrunning the shard. 0 disables. Valid range: >= 0, not NaN.
+  double split_queue_backlog = 0.0;
+
+  // Merge (halve) after merge_cold_epochs consecutive epochs in which
+  // *every* shard stayed below merge_shard_ops owned requests.
+  // merge_shard_ops 0 disables merging; merge_cold_epochs valid range:
+  // >= 1.
+  std::uint64_t merge_shard_ops = 0;
+  std::uint32_t merge_cold_epochs = 3;
+
+  // Checks the ranges above plus the split/merge dead band; throws
+  // std::invalid_argument naming the offending field. Called by
+  // RuntimeConfig::Validate.
+  void Validate() const {
+    if (min_shards == 0) {
+      throw std::invalid_argument(
+          "AutoScalerConfig::min_shards must be at least 1 (0 shards cannot "
+          "own the id space)");
+    }
+    if (max_shards < min_shards) {
+      throw std::invalid_argument(
+          "AutoScalerConfig::max_shards must be >= min_shards (the scaler "
+          "moves within [min_shards, max_shards])");
+    }
+    if (std::isnan(split_imbalance) ||
+        (split_imbalance != 0.0 && split_imbalance < 1.0)) {
+      throw std::invalid_argument(
+          "AutoScalerConfig::split_imbalance must be 0 (disabled) or >= 1.0 "
+          "(hottest/mean ratio; values below 1 would fire on every epoch, "
+          "and NaN would silently never fire)");
+    }
+    if (std::isnan(split_queue_backlog) || split_queue_backlog < 0.0) {
+      throw std::invalid_argument(
+          "AutoScalerConfig::split_queue_backlog must be a number >= 0 "
+          "(mean batches queued ahead of each dispatched batch; NaN would "
+          "silently never fire)");
+    }
+    if (merge_cold_epochs == 0) {
+      throw std::invalid_argument(
+          "AutoScalerConfig::merge_cold_epochs must be at least 1 (a merge "
+          "needs at least one observed cold epoch)");
+    }
+    if (enabled && split_shard_ops != 0 && merge_shard_ops != 0 &&
+        merge_shard_ops > split_shard_ops / 2) {
+      throw std::invalid_argument(
+          "AutoScalerConfig::merge_shard_ops must be <= split_shard_ops / 2: "
+          "halving the shard count doubles per-shard load, so a narrower "
+          "dead band lets a merge land straight back on the split threshold "
+          "(thrash)");
+    }
+  }
+};
+
 struct RuntimeConfig {
   // Worker shards, each backed by its own core::Engine. 1 means the
   // single-shard configuration whose counters must match the sequential
-  // engine exactly. Valid range: >= 1 (see Validate).
+  // engine exactly. Valid range: >= 1 (see Validate). This is only the
+  // *initial* topology: Reconfigure() and the auto-scaler change the live
+  // count at epoch boundaries.
   std::uint32_t num_shards = 1;
 
   // How the user/view id space maps onto shards.
@@ -73,9 +170,29 @@ struct RuntimeConfig {
   // kEager only: minimum wall-clock age (microseconds) of a channel's
   // oldest pending op before a mid-epoch poll serves it. 0 serves remote
   // slices as soon as a poll observes them; a large bound degenerates to
-  // kEpoch behavior (everything waits for the boundary drain). Any value is
-  // valid: the staleness arithmetic saturates instead of wrapping.
+  // kEpoch behavior (everything waits for the boundary drain). Valid range:
+  // [0, kMaxStalenessMicros] — the bound is compared in nanoseconds, so
+  // anything larger would overflow the ns clock domain. Validate() rejects
+  // out-of-range values up front instead of silently clamping at use.
   std::uint64_t staleness_micros = 0;
+  static constexpr std::uint64_t kMaxStalenessMicros =
+      ~std::uint64_t{0} / 1000;  // largest µs value representable in ns
+
+  // Incremental view migration: how many views a reconfiguration hands
+  // over per epoch boundary. 0 (the default) migrates every owner-changing
+  // view in the triggering boundary's single quiesced pause; a positive
+  // value spreads the hand-off over ceil(changed / migration_batch)
+  // consecutive boundaries, bounding each pause to O(migration_batch) view
+  // exports/imports — during the window the ShardMap routes dual-ownership
+  // (migrated views to the new owner, pending views to the old; see
+  // shard_map.h). Only applies to resizes requested while a run is in
+  // progress: between runs there are no boundaries to spread over, so the
+  // hand-off is always a single step. Valid range: any.
+  std::uint32_t migration_batch = 0;
+
+  // Closed-loop reconfiguration policy; disabled by default (see
+  // AutoScalerConfig above).
+  AutoScalerConfig scaler;
 
   // false selects the deterministic inline fallback: the same epoch state
   // machine executed on the calling thread, shard by shard, with no threads
@@ -104,6 +221,13 @@ struct RuntimeConfig {
           "RuntimeConfig::batch_size must be at least 1 (0 requests per task "
           "batch would never flush)");
     }
+    if (staleness_micros > kMaxStalenessMicros) {
+      throw std::invalid_argument(
+          "RuntimeConfig::staleness_micros must be <= kMaxStalenessMicros "
+          "(2^64/1000): the bound is compared in nanoseconds and larger "
+          "values overflow the clock domain");
+    }
+    scaler.Validate();
   }
 };
 

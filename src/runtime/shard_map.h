@@ -4,16 +4,38 @@
 // makes shard ownership trivially explainable.
 //
 // Ownership and thread-safety: a ShardMap is an immutable value after
-// construction — shard_of is const, allocation-free, and safe to call from
-// any thread concurrently. Online reconfiguration never mutates a map; the
-// runtime builds a map for the new shard count and swaps it in at an epoch
-// boundary (the only point where workers are quiescent), so any map a
-// worker observes is internally consistent. Copies are cheap (three scalar
-// fields) — the maintenance-ownership predicates capture the map by value
-// for exactly this reason.
+// construction — shard_of is const and safe to call from any thread
+// concurrently. Online reconfiguration never mutates a map; the runtime
+// builds a map for the new topology and swaps it in at an epoch boundary
+// (the only point where workers are quiescent), so any map a worker
+// observes is internally consistent. Copies are cheap (four scalar fields
+// plus one shared_ptr) — the maintenance-ownership predicates capture the
+// map by value for exactly this reason.
+//
+// Transition maps (incremental view migration): while a reconfiguration is
+// migrating views in bounded batches (RuntimeConfig::migration_batch), the
+// id space is dual-owned — views already handed over follow the *target*
+// layout, views still awaiting hand-off stay with their old owner.
+// Transition(target, live_shards, pending, migrated) builds a map encoding
+// exactly that: `pending` is the window's whole migration ledger (view ->
+// old owner, sorted ascending by view id) and `migrated` the hand-off
+// cursor; shard_of binary-searches the unmigrated suffix and falls back to
+// the target layout. A transition map is just as immutable as a pure one —
+// every batch installs a *new* map sharing the same ledger with the cursor
+// advanced, so the per-boundary install is O(1) regardless of how many
+// views remain (the pause stays O(migration_batch)); the final batch
+// installs the pure target map. Lookups pay one O(log pending) probe only
+// while a window is open. num_shards() reports the *live* routing domain
+// (max of the old and new counts — during a merge the retiring shards
+// still serve their unmigrated views), target_shards() the layout being
+// migrated toward.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -23,12 +45,38 @@ enum class ShardingMode : std::uint8_t { kHash, kRange };
 
 class ShardMap {
  public:
+  // (view id, old owning shard) for every view a migration window hands
+  // over, sorted ascending by view id. Shared (immutably) between the
+  // runtime's map, every per-batch successor map, and every copy the
+  // maintenance predicates hold.
+  using PendingLedger = std::vector<std::pair<UserId, std::uint32_t>>;
+
   ShardMap(std::uint32_t num_shards, std::uint32_t num_users,
            ShardingMode mode)
       : num_shards_(num_shards == 0 ? 1 : num_shards),
+        target_shards_(num_shards_),
         mode_(mode),
         block_((num_users + num_shards_ - 1) / num_shards_) {
     if (block_ == 0) block_ = 1;
+  }
+
+  // A dual-ownership map for an in-flight incremental migration: routes
+  // like `target` except for the ids in `pending` at index >= `migrated`,
+  // which stay with the old shard the ledger names. `live_shards` is the
+  // routing domain — every ledger owner and every target assignment must
+  // be below it. A null or fully-migrated ledger degenerates to `target`
+  // (with the wider domain).
+  static ShardMap Transition(const ShardMap& target,
+                             std::uint32_t live_shards,
+                             std::shared_ptr<const PendingLedger> pending,
+                             std::size_t migrated) {
+    ShardMap map = target;
+    map.num_shards_ = live_shards == 0 ? target.num_shards_ : live_shards;
+    if (pending != nullptr && migrated < pending->size()) {
+      map.pending_ = std::move(pending);
+      map.migrated_ = migrated;
+    }
+    return map;
   }
 
   // Owner of user/view id `u`: always in [0, num_shards()). Deterministic
@@ -37,14 +85,35 @@ class ShardMap {
   // num_users still resolve (hash mode by construction; range mode clamps
   // to the last shard).
   std::uint32_t shard_of(UserId u) const {
+    if (pending_ != nullptr) {
+      const auto begin =
+          pending_->begin() + static_cast<std::ptrdiff_t>(migrated_);
+      const auto it = std::lower_bound(
+          begin, pending_->end(), u,
+          [](const std::pair<UserId, std::uint32_t>& entry, UserId id) {
+            return entry.first < id;
+          });
+      if (it != pending_->end() && it->first == u) return it->second;
+    }
     if (mode_ == ShardingMode::kRange) {
       const std::uint32_t s = u / block_;
-      return s < num_shards_ ? s : num_shards_ - 1;
+      return s < target_shards_ ? s : target_shards_ - 1;
     }
-    return static_cast<std::uint32_t>(Mix(u) % num_shards_);
+    return static_cast<std::uint32_t>(Mix(u) % target_shards_);
   }
 
+  // Live routing domain: every shard_of result is below this, and during a
+  // merge transition it still counts the retiring shards.
   std::uint32_t num_shards() const { return num_shards_; }
+  // The layout being routed toward; equals num_shards() except while a
+  // merge migration is in flight.
+  std::uint32_t target_shards() const { return target_shards_; }
+  // True while this map encodes a dual-ownership transition window.
+  bool in_transition() const { return pending_ != nullptr; }
+  // Views still awaiting hand-off (0 for a pure map).
+  std::uint64_t pending_views() const {
+    return pending_ == nullptr ? 0 : pending_->size() - migrated_;
+  }
   ShardingMode mode() const { return mode_; }
 
  private:
@@ -58,8 +127,11 @@ class ShardMap {
   }
 
   std::uint32_t num_shards_;
+  std::uint32_t target_shards_;
   ShardingMode mode_;
   std::uint32_t block_;
+  std::shared_ptr<const PendingLedger> pending_;
+  std::size_t migrated_ = 0;
 };
 
 }  // namespace dynasore::rt

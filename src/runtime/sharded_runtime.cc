@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <map>
 #include <stdexcept>
 #include <thread>
+#include <utility>
+
+#include "runtime/auto_scaler.h"
 
 namespace dynasore::rt {
 
@@ -105,6 +109,9 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
     shards_.back()->outbox.resize(n);
   }
   InstallMaintenanceOwners();
+  if (config_.scaler.enabled) {
+    scaler_ = std::make_unique<AutoScaler>(config_.scaler);
+  }
 }
 
 std::unique_ptr<ShardedRuntime::Shard> ShardedRuntime::MakeShard(
@@ -156,6 +163,9 @@ void ShardedRuntime::Reconfigure(std::uint32_t new_shard_count) {
   if (running_) {
     pending_shards_ = new_shard_count;  // applied at the next epoch boundary
   } else {
+    // An aborted run may have left a migration window open; close it first
+    // (one step — there is no serving to pause between runs), then apply.
+    if (migration_.has_value()) FinishMigrationNow();
     ApplyReconfigure(new_shard_count, /*threaded=*/false, /*epoch_end=*/0);
   }
 }
@@ -296,8 +306,226 @@ void ShardedRuntime::ApplyReconfigure(std::uint32_t new_count, bool threaded,
     }
   }
 
+  reconfig_events_.push_back(ReconfigEvent{epoch_end, old_n, new_count,
+                                           migrated, /*views_pending=*/0,
+                                           NowNs() - t0});
+  // The old per-shard baselines no longer describe this shard set; the
+  // next boundary rebases instead of observing (a retired-then-respawned
+  // shard id must not inherit its predecessor's cumulative stats).
+  scaler_baseline_.clear();
+}
+
+// ----- Incremental migration (bounded batches per epoch boundary) -----
+
+void ShardedRuntime::BeginReconfigure(std::uint32_t new_count, bool threaded,
+                                      SimTime epoch_end) {
+  const std::uint32_t old_n = map_.num_shards();
+  if (new_count == old_n) return;
+  const std::uint32_t batch = config_.migration_batch;
+  if (batch == 0) {
+    ApplyReconfigure(new_count, threaded, epoch_end);
+    return;
+  }
+
+  const std::uint64_t t0 = NowNs();
+  ShardMap target(new_count, graph_->num_users(), config_.sharding);
+  auto ledger = std::make_shared<ShardMap::PendingLedger>();
+  for (ViewId v = 0; v < graph_->num_users(); ++v) {
+    const std::uint32_t a = map_.shard_of(v);
+    if (a != target.shard_of(v)) ledger->emplace_back(v, a);
+  }
+  // Split: the new owners (and the channels to reach them) must exist
+  // before the first batch lands. The fabric grows to the live shard set up
+  // front — every channel is empty at the boundary, so the swap loses
+  // nothing. Everything that can fail before the window exists happens
+  // before the nothrow fabric commit, and the rollback restores the old
+  // shard set and outbox shape, so an unwind here leaves the pre-call
+  // topology invariant (shards_.size() == map_.num_shards() ==
+  // fabric_->num_shards()) intact with no ownership changed. A throw
+  // *after* the commit can only come from the window machinery below,
+  // which fails into an open, consistent window instead (see there).
+  if (new_count > old_n) {
+    auto new_fabric =
+        MakeFabric(config_.transport, new_count, config_.queue_depth + 2);
+    const std::uint32_t slot = shards_.front()->engine->current_slot();
+    try {
+      for (std::uint32_t s = old_n; s < new_count; ++s) {
+        shards_.push_back(MakeShard(s));
+        shards_.back()->engine->SeedSlot(slot);
+      }
+      for (auto& shard : shards_) shard->outbox.assign(new_count, Outbox{});
+      if (threaded) {
+        for (std::uint32_t s = old_n; s < new_count; ++s) {
+          Shard* sp = shards_[s].get();
+          sp->worker = std::thread([this, sp] { WorkerLoop(*sp); });
+        }
+      }
+    } catch (...) {
+      // New workers are parked on empty queues; the non-allocating close
+      // path releases them. Shrinking an outbox vector reuses its existing
+      // capacity, so the rollback itself cannot throw.
+      for (std::size_t s = old_n; s < shards_.size(); ++s) {
+        Shard& doomed = *shards_[s];
+        doomed.tasks.Close();
+        if (doomed.worker.joinable()) doomed.worker.join();
+      }
+      while (shards_.size() > old_n) shards_.pop_back();
+      for (auto& shard : shards_) shard->outbox.assign(old_n, Outbox{});
+      throw;
+    }
+    fabric_ = std::move(new_fabric);  // nothrow commit
+  }
+  // Merge: the retiring shards keep serving their unmigrated views, so the
+  // live set, the fabric, and every outbox stay at old_n until the final
+  // batch (CompleteMigration tears them down).
+
+  // Payload coherence spans the *live* shard set for the whole window.
+  const std::uint32_t live = std::max(old_n, new_count);
+  replicate_writes_ = live > 1 && engine_config_.store.payload_mode;
+
+  // Open the window *before* migrating anything: with the zero-progress
+  // transition map and ownership predicates installed, a throw anywhere in
+  // the batch work below (snapshot buffers, engine imports) unwinds into a
+  // consistent open window — every view still routed to its old owner, the
+  // live domain matching the shard set and fabric — that the next boundary
+  // (or a between-runs Reconfigure via FinishMigrationNow) resumes.
+  migration_.emplace(
+      MigrationWindow{std::move(target), old_n, new_count, std::move(ledger), 0});
+  map_ = ShardMap::Transition(migration_->target, live, migration_->ledger, 0);
+  InstallMaintenanceOwners();
+
+  const std::uint64_t migrated = MigrateNextBatch(batch);
+  const std::uint64_t pending =
+      migration_->ledger->size() - migration_->next;
+  // A ledger that fit one batch opens and closes its window at this same
+  // boundary: one event, no dual-ownership epoch, and the ledger scan
+  // above is part of the reported pause exactly once.
+  if (pending == 0) CompleteMigration();
+  reconfig_events_.push_back(ReconfigEvent{epoch_end, old_n, new_count,
+                                           migrated, pending, NowNs() - t0});
+}
+
+std::uint64_t ShardedRuntime::MigrateNextBatch(std::uint64_t batch) {
+  MigrationWindow& w = *migration_;
+  const ShardMap::PendingLedger& ledger = *w.ledger;
+  const std::size_t begin = w.next;
+  const std::size_t end =
+      std::min(ledger.size(), begin + static_cast<std::size_t>(batch));
+
+  // Group the batch by (exporter, importer) pair and hand each group over
+  // through the engines' batched snapshot API. The exporter is the view's
+  // *current* owner — its old shard, since views migrate exactly once.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<ViewId>>
+      groups;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto [v, from] = ledger[i];
+    groups[{from, w.target.shard_of(v)}].push_back(v);
+  }
+  for (const auto& [route, views] : groups) {
+    shards_[route.second]->engine->ImportViewStates(
+        shards_[route.first]->engine->ExportViewStates(views));
+  }
+  w.next = end;
+
+  if (w.next < ledger.size()) {
+    // Install the advanced dual-ownership window: the new map shares the
+    // window's ledger and only moves the cursor, so this step is O(1) no
+    // matter how many views remain — the pause stays O(migration_batch).
+    map_ = ShardMap::Transition(w.target,
+                                std::max(w.from_shards, w.to_shards),
+                                w.ledger, w.next);
+    InstallMaintenanceOwners();
+  }
+  return end - begin;
+}
+
+void ShardedRuntime::CompleteMigration() {
+  MigrationWindow& w = *migration_;
+  assert(w.next == w.ledger->size() && "completion requires an empty ledger");
+  const std::uint32_t new_count = w.to_shards;
+
+  // Mirror ApplyReconfigure's commit order: fabric allocated up front, map
+  // committed before surplus shards disappear, retirement last.
+  std::unique_ptr<Fabric> new_fabric;
+  if (new_count < w.from_shards) {
+    new_fabric =
+        MakeFabric(config_.transport, new_count, config_.queue_depth + 2);
+  }
+  map_ = w.target;
+  replicate_writes_ = new_count > 1 && engine_config_.store.payload_mode;
+  InstallMaintenanceOwners();
+  if (new_fabric != nullptr) {
+    fabric_ = std::move(new_fabric);
+    for (auto& shard : shards_) shard->outbox.assign(new_count, Outbox{});
+    try {
+      while (shards_.size() > new_count) {
+        RetireShard(*shards_.back());
+        shards_.pop_back();
+      }
+    } catch (...) {
+      // Same reasoning as ApplyReconfigure's merge unwind: conservation is
+      // already lost, but the shards/map/fabric size invariant must hold.
+      while (shards_.size() > new_count) {
+        Shard& doomed = *shards_.back();
+        doomed.tasks.Close();
+        if (doomed.worker.joinable()) doomed.worker.join();
+        shards_.pop_back();
+      }
+      migration_.reset();
+      throw;
+    }
+  }
+  // No baseline clear here, unlike ApplyReconfigure: a split window's
+  // completion leaves the shard set exactly as it has been since the
+  // window opened (so the boundary-maintained baseline is still a valid
+  // pairing), and a merge completion changes the set's size, which forces
+  // a rebase on its own. Clearing would waste one observation epoch per
+  // window — enough to miss a merge near the end of a run.
+  migration_.reset();
+}
+
+void ShardedRuntime::StepMigration(SimTime epoch_end) {
+  const std::uint64_t t0 = NowNs();
+  const std::uint32_t from = migration_->from_shards;
+  const std::uint32_t to = migration_->to_shards;
+  const std::uint64_t migrated = MigrateNextBatch(config_.migration_batch);
+  const std::uint64_t pending = migration_->ledger->size() - migration_->next;
+  if (pending == 0) CompleteMigration();
   reconfig_events_.push_back(
-      ReconfigEvent{epoch_end, old_n, new_count, migrated, NowNs() - t0});
+      ReconfigEvent{epoch_end, from, to, migrated, pending, NowNs() - t0});
+}
+
+void ShardedRuntime::FinishMigrationNow() {
+  const std::uint32_t from = migration_->from_shards;
+  const std::uint32_t to = migration_->to_shards;
+  const std::uint64_t t0 = NowNs();
+  const std::uint64_t migrated =
+      MigrateNextBatch(migration_->ledger->size() - migration_->next);
+  CompleteMigration();
+  reconfig_events_.push_back(ReconfigEvent{/*epoch_end=*/0, from, to,
+                                           migrated, /*views_pending=*/0,
+                                           NowNs() - t0});
+}
+
+void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
+  if (scaler_ == nullptr) return;
+  // Deltas are only meaningful against a same-shaped baseline; after any
+  // resize (and on the very first boundary) this rebases and skips one
+  // observation. Migration windows are skipped too — their boundaries
+  // reflect the hand-off, not steady-state load — but the baseline keeps
+  // advancing so the first post-window delta still covers one epoch.
+  if (!migration_.has_value() && scaler_baseline_.size() == shards_.size()) {
+    std::vector<ShardStats> deltas;
+    deltas.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      deltas.push_back(shards_[s]->stats.DeltaSince(scaler_baseline_[s]));
+    }
+    const std::uint32_t target =
+        scaler_->Observe(epoch_index, map_.num_shards(), deltas);
+    if (target != 0) Reconfigure(target);
+  }
+  scaler_baseline_.clear();
+  for (const auto& shard : shards_) scaler_baseline_.push_back(shard->stats);
 }
 
 core::Engine& ShardedRuntime::shard_engine(std::uint32_t shard) {
@@ -463,13 +691,9 @@ void ShardedRuntime::DrainEpoch(Shard& shard) {
 void ShardedRuntime::EagerPoll(Shard& shard, bool ignore_staleness) {
   auto& batches = shard.drain_batches;
   batches.clear();
-  constexpr std::uint64_t kMaxNs = ~std::uint64_t{0};
-  // Saturate: an "effectively infinite" staleness bound must not wrap into
-  // a tiny one.
-  const std::uint64_t min_age_ns =
-      config_.staleness_micros > kMaxNs / 1000
-          ? kMaxNs
-          : config_.staleness_micros * 1000;
+  // RuntimeConfig::Validate rejects staleness_micros above
+  // kMaxStalenessMicros, so the µs -> ns conversion cannot wrap here.
+  const std::uint64_t min_age_ns = config_.staleness_micros * 1000;
   const std::uint64_t now = NowNs();
   for (std::uint32_t src = 0; src < map_.num_shards(); ++src) {
     if (src == shard.id) continue;
@@ -622,9 +846,20 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
   std::vector<std::vector<SeqRequest>> staging(n);
   std::vector<SimTime> ticks;
 
+  // Queue-pressure signal for the auto-scaler, sampled on the dispatcher
+  // as it pushes each request batch: how many batches were already queued
+  // ahead of it. Sampling at push time means boundary control tasks are
+  // never counted (the previous boundary fully drained before dispatch
+  // resumes), and the accumulators are dispatcher-owned until the boundary
+  // fold below hands them to the (then parked) shards' stats.
+  std::vector<std::uint64_t> backlog_sum(n);
+  std::vector<std::uint64_t> backlog_batches(n);
+
   const auto flush_shard = [&](std::uint32_t s) {
     if (staging[s].empty()) return;
+    ++backlog_batches[s];
     if (threaded) {
+      backlog_sum[s] += shards_[s]->tasks.size();
       Task task;
       task.kind = Task::Kind::kRequests;
       task.requests = std::move(staging[s]);
@@ -699,23 +934,50 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
 
     // The boundary is the runtime's quiescent point: every request
     // dispatched so far has executed, every channel is empty, every worker
-    // is parked on its task queue. Fire the hook, then apply any pending
-    // reconfiguration while that holds.
+    // is parked on its task queue. Hand the dispatcher-side queue samples
+    // to the parked shards' stats, fire the hook and the auto-scaler, then
+    // step the migration window or apply a pending reconfiguration while
+    // that holds.
+    for (std::uint32_t s = 0; s < n; ++s) {
+      shards_[s]->stats.task_batches += backlog_batches[s];
+      shards_[s]->stats.queue_backlog_sum += backlog_sum[s];
+      backlog_batches[s] = 0;
+      backlog_sum[s] = 0;
+    }
     if (epoch_hook_) epoch_hook_(epoch_end, epoch_index);
+    ObserveEpochForScaler(epoch_index);
     ++epoch_index;
     std::uint32_t pending = 0;
     {
       std::lock_guard lock(reconfig_mutex_);
-      pending = pending_shards_;
-      pending_shards_ = 0;
+      if (!migration_.has_value()) {
+        pending = pending_shards_;
+        pending_shards_ = 0;
+      }
+      // else: requests stay parked (latest wins) until the window closes —
+      // transitions never nest.
     }
-    if (pending != 0 && pending != n) {
-      ApplyReconfigure(pending, threaded, epoch_end);
+    if (migration_.has_value()) {
+      StepMigration(epoch_end);
       n = map_.num_shards();
       staging.resize(n);  // all staged batches were flushed pre-boundary
+      backlog_sum.resize(n);  // and the queue samples folded above
+      backlog_batches.resize(n);
+    } else if (pending != 0 && pending != n) {
+      BeginReconfigure(pending, threaded, epoch_end);
+      n = map_.num_shards();
+      staging.resize(n);
+      backlog_sum.resize(n);
+      backlog_batches.resize(n);
     }
 
-    if (i == requests.size() && next_tick > tick_limit) break;
+    // An open migration window keeps the epoch loop alive past the log so
+    // its remaining batches ride real boundaries (the ledger shrinks every
+    // pass, so this terminates).
+    if (i == requests.size() && next_tick > tick_limit &&
+        !migration_.has_value()) {
+      break;
+    }
   }
   abort_guard.armed = false;
   if (threaded) ShutdownWorkers();

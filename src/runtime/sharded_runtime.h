@@ -40,8 +40,22 @@
 // conserving), every view whose owner changes hands over its engine state
 // (Engine::ExportViewState/ImportViewState), the per-(source, destination)
 // fabric is rebuilt for the new shard set, and the run resumes — surviving
-// worker threads are never restarted and no request is dropped. See
-// docs/architecture.md for the full state machine.
+// worker threads are never restarted and no request is dropped.
+//
+// With RuntimeConfig::migration_batch set, the hand-off is *incremental*:
+// each boundary migrates at most migration_batch views and installs a
+// transition ShardMap that routes migrated views to their new owner and
+// pending views to their old one (dual ownership, see shard_map.h), so the
+// serving pause per boundary is O(migration_batch) instead of O(id space).
+// During a merge's transition window the retiring shards stay live until
+// their last view has migrated away; the fabric is rebuilt and they are
+// retired only at the final batch.
+//
+// With RuntimeConfig::scaler.enabled, an rt::AutoScaler closes the loop:
+// at every boundary it consumes the per-epoch ShardStats deltas and
+// requests splits/merges itself — see AutoScalerConfig (runtime_config.h)
+// for the thresholds and hysteresis, and docs/reconfiguration.md for the
+// full policy + migration state machine.
 #pragma once
 
 #include <array>
@@ -50,8 +64,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/latency_histogram.h"
@@ -69,7 +85,26 @@
 
 namespace dynasore::rt {
 
+class AutoScaler;  // auto_scaler.h — the closed-loop reconfiguration policy
+
 // Per-shard accumulators kept off the shared hot path; merged on demand.
+//
+// Ownership and thread-safety: each shard's ShardStats has exactly one
+// writer — the shard's worker thread (or the calling thread in the inline
+// fallback). The dispatcher reads them only at quiescent points (epoch
+// boundaries, where every worker is parked on its task queue, and after
+// workers are joined at run end), which is also when the auto-scaler takes
+// its per-epoch deltas; no other thread may touch them while a run is in
+// progress. An in-flight incremental migration changes nothing here: a
+// retiring shard keeps accumulating into its own stats until the final
+// batch folds them into the retained aggregates.
+//
+// Every field is a monotonically non-decreasing count over the shard's
+// lifetime. operator+= is plain modular uint64 addition (merging cannot
+// throw or saturate; a wrap would need > 1.8e19 events); DeltaSince
+// extracts one epoch's activity by subtraction and saturates at 0 if a
+// field ever ran backwards, so a bookkeeping bug degrades to a zero delta
+// instead of a ~2^64 spike that would wrench the scaler.
 struct ShardStats {
   std::uint64_t requests = 0;  // owned requests executed (reads + writes)
   std::uint64_t reads = 0;
@@ -82,6 +117,18 @@ struct ShardStats {
   // boundary barrier-assist polls are not counted).
   std::uint64_t eager_drains = 0;
   std::uint64_t epochs = 0;
+  // Queue-pressure signal for the auto-scaler, sampled by the dispatcher
+  // as it pushes each request batch: batches dispatched, and the sum over
+  // those pushes of the batches already queued ahead of each one (always 0
+  // in the inline fallback, which executes instead of queueing). Boundary
+  // control tasks are never part of the sample. queue_backlog_sum /
+  // task_batches is the mean backlog the dispatcher found in front of this
+  // shard — both are sums, so the ratio is well-defined on deltas too.
+  // Unlike every other field these are written by the *dispatcher*, folded
+  // into the shard's stats at the epoch boundary while the worker is
+  // parked — same quiescent hand-off as the rest of reconfiguration.
+  std::uint64_t task_batches = 0;
+  std::uint64_t queue_backlog_sum = 0;
 
   ShardStats& operator+=(const ShardStats& o) {
     requests += o.requests;
@@ -93,7 +140,32 @@ struct ShardStats {
     messages_sent += o.messages_sent;
     eager_drains += o.eager_drains;
     epochs += o.epochs;
+    task_batches += o.task_batches;
+    queue_backlog_sum += o.queue_backlog_sum;
     return *this;
+  }
+
+  // Activity since `baseline` (an earlier snapshot of the same shard's
+  // stats): per-field saturating subtraction — the auto-scaler's input
+  // path. An identical baseline (empty epoch) yields all-zero deltas.
+  ShardStats DeltaSince(const ShardStats& baseline) const {
+    const auto sub = [](std::uint64_t cur, std::uint64_t prev) {
+      return cur >= prev ? cur - prev : 0;
+    };
+    ShardStats d;
+    d.requests = sub(requests, baseline.requests);
+    d.reads = sub(reads, baseline.reads);
+    d.writes = sub(writes, baseline.writes);
+    d.remote_read_slices = sub(remote_read_slices, baseline.remote_read_slices);
+    d.remote_write_applies =
+        sub(remote_write_applies, baseline.remote_write_applies);
+    d.remote_slice_msgs = sub(remote_slice_msgs, baseline.remote_slice_msgs);
+    d.messages_sent = sub(messages_sent, baseline.messages_sent);
+    d.eager_drains = sub(eager_drains, baseline.eager_drains);
+    d.epochs = sub(epochs, baseline.epochs);
+    d.task_batches = sub(task_batches, baseline.task_batches);
+    d.queue_backlog_sum = sub(queue_backlog_sum, baseline.queue_backlog_sum);
+    return d;
   }
 };
 
@@ -110,14 +182,28 @@ struct LatencyPercentiles {
 
 LatencyPercentiles SummarizeLatency(const common::LatencyHistogram& h);
 
-// One applied shard-count change (RuntimeResult::reconfig_events).
+// One reconfiguration step (RuntimeResult::reconfig_events). A single-pause
+// resize (RuntimeConfig::migration_batch == 0, or a between-runs apply)
+// produces exactly one event covering the whole hand-off. An incremental
+// resize produces one event per epoch boundary that migrated a batch —
+// from_shards/to_shards repeat the overall old/new counts on every step,
+// views_migrated counts only that step's batch, and views_pending says how
+// many are still awaiting hand-off afterwards, so the final step of the
+// window is the event with views_pending == 0 (it also carries the
+// completion work: retiring surplus shards and rebuilding the fabric).
+//
+// Written by the dispatcher thread at quiescent points only; a run's result
+// copies the accumulated list, so events are plain values thereafter.
 struct ReconfigEvent {
   SimTime epoch_end = 0;  // boundary it fired at; 0 when applied between runs
   std::uint32_t from_shards = 0;
   std::uint32_t to_shards = 0;
-  std::uint64_t views_migrated = 0;  // views whose owning shard changed
-  // Wall-clock the dispatcher spent applying the change while every worker
-  // was quiesced — the serving pause the reconfiguration costs.
+  std::uint64_t views_migrated = 0;  // views handed over in this step
+  std::uint64_t views_pending = 0;   // still dual-owned after this step
+  // Wall-clock the dispatcher spent applying this step while every worker
+  // was quiesced — the serving pause the step costs. Incremental migration
+  // exists to bound this per step: max pause_ns over a transition window is
+  // O(migration_batch), vs O(owner-changing views) for a single pause.
   std::uint64_t pause_ns = 0;
 };
 
@@ -184,20 +270,34 @@ class ShardedRuntime {
   // Requests a shard-count change. Thread-safe: may be called from any
   // thread — including from an epoch hook, the deterministic way to
   // schedule it — while Run is in progress, in which case it takes effect
-  // at the next epoch boundary; outside a run it applies immediately. A
-  // request that lands after a run's last boundary is applied when that
-  // run completes (never deferred to a later run). The latest request
-  // within an epoch wins; requesting the current count is a no-op. Throws
-  // std::invalid_argument for 0. If an exception unwinds Run (e.g. a
-  // throwing epoch hook), a request not yet applied is dropped with the
-  // aborted run — re-request after Run rethrows if it should still happen.
+  // at the next epoch boundary; outside a run it applies immediately (and
+  // first completes any migration window an aborted run left in flight,
+  // in one step). A request that lands after a run's last boundary is
+  // applied when that run completes (never deferred to a later run). The
+  // latest request within an epoch wins; requesting the current count is a
+  // no-op. While an incremental migration window is open, new requests stay
+  // parked (latest still wins) until the window closes, then apply at the
+  // next boundary — transitions never nest. Throws std::invalid_argument
+  // for 0. If an exception unwinds Run (e.g. a throwing epoch hook), a
+  // request not yet applied is dropped with the aborted run — re-request
+  // after Run rethrows if it should still happen.
   void Reconfigure(std::uint32_t new_shard_count);
 
-  // Called on the dispatching thread at every epoch boundary, after the
-  // boundary drain completes and before any pending reconfiguration is
-  // applied: `epoch_end` is the boundary's simulated time, `epoch_index`
-  // counts boundaries from 0 within the current Run. Install before Run
-  // (not thread-safe against a run in progress).
+  // Called on the dispatching thread at every epoch boundary, at the
+  // quiescent point — after the boundary drain completes, before the
+  // auto-scaler is consulted, before any pending reconfiguration (or
+  // migration-window step) is applied: `epoch_end` is the boundary's
+  // simulated time, `epoch_index` counts boundaries from 0 within the
+  // current Run. Every worker is parked and every channel empty while the
+  // hook runs, so it may safely call Reconfigure and inspect shard_map()/
+  // num_shards(); it must not touch shard engines it does not own or block
+  // on other threads. During an in-flight incremental migration the hook
+  // keeps firing every boundary (the map it observes is the transition
+  // map), and a run whose log has drained keeps running boundaries until
+  // the window closes — so a hook keyed on epoch_index may see more
+  // boundaries than the log's duration implies. Install before Run (not
+  // thread-safe against a run in progress); installing an empty function
+  // removes the hook.
   using EpochHook =
       std::function<void(SimTime epoch_end, std::uint64_t epoch_index)>;
   void SetEpochHook(EpochHook hook) { epoch_hook_ = std::move(hook); }
@@ -214,6 +314,10 @@ class ShardedRuntime {
   std::uint32_t num_shards() const { return map_.num_shards(); }
   // Epoch length after rounding down to a divisor of the engine slot.
   SimTime epoch_seconds() const { return epoch_; }
+  // The closed-loop policy, or nullptr when RuntimeConfig::scaler.enabled
+  // is false. Same (non-)thread-safety as the accessors above; its
+  // observation history is stable between runs.
+  const AutoScaler* auto_scaler() const { return scaler_.get(); }
 
  private:
   static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
@@ -309,10 +413,49 @@ class ShardedRuntime {
   // Folds a retiring shard's counters, stats, traffic and histograms into
   // the retained accumulators and shuts down its worker if one is running.
   void RetireShard(Shard& shard);
-  // Applies a shard-count change. Epoch-boundary only: every worker must be
-  // quiescent and every fabric channel empty (or no run in progress).
+  // Applies a shard-count change in one quiesced pause. Epoch-boundary
+  // only: every worker must be quiescent and every fabric channel empty
+  // (or no run in progress).
   void ApplyReconfigure(std::uint32_t new_count, bool threaded,
                         SimTime epoch_end);
+
+  // ----- Incremental migration (RuntimeConfig::migration_batch > 0) -----
+  //
+  // All three run on the dispatcher thread at quiescent points. Begin
+  // decides between the single-pause path and opening a migration window
+  // (ledger of owner-changing views + transition map); Step migrates the
+  // next batch at each subsequent boundary and closes the window after the
+  // last one (merge: retire surplus shards, rebuild the fabric); Finish
+  // drains every remaining batch in one step — the between-runs path for a
+  // window an aborted run left open.
+
+  // One in-flight incremental resize; at most one exists at a time.
+  struct MigrationWindow {
+    ShardMap target;    // the pure map being migrated toward
+    std::uint32_t from_shards = 0;
+    std::uint32_t to_shards = 0;
+    // Owner-changing views (ascending id — the deterministic batch order)
+    // paired with their old owner; `next` is the hand-off cursor. Shared
+    // with every transition map installed during the window, so each
+    // per-batch map install is O(1) — only the cursor advances.
+    std::shared_ptr<const ShardMap::PendingLedger> ledger;
+    std::size_t next = 0;
+  };
+
+  void BeginReconfigure(std::uint32_t new_count, bool threaded,
+                        SimTime epoch_end);
+  void StepMigration(SimTime epoch_end);
+  void FinishMigrationNow();
+  // Migrates ledger entries [window.next, window.next + batch) and installs
+  // the matching transition (or final) map; returns the views handed over.
+  std::uint64_t MigrateNextBatch(std::uint64_t batch);
+  // Tears down the window after the last batch: retires surplus shards,
+  // rebuilds the fabric for the target count, restores the pure map.
+  void CompleteMigration();
+
+  // Feeds the auto-scaler one epoch's per-shard deltas and forwards its
+  // decision to Reconfigure. Dispatcher thread, quiescent point only.
+  void ObserveEpochForScaler(std::uint64_t epoch_index);
 
   void WorkerLoop(Shard& shard);
   void ExecuteRequest(Shard& shard, const SeqRequest& sr);
@@ -360,6 +503,18 @@ class ShardedRuntime {
   EpochHook epoch_hook_;
   std::vector<ReconfigEvent> reconfig_events_;
   ShardAggregates retired_;
+
+  // Incremental-migration window (dispatcher only; empty when no window is
+  // open). While engaged, map_ is a transition map and pending Reconfigure
+  // requests stay parked.
+  std::optional<MigrationWindow> migration_;
+
+  // Closed-loop policy (dispatcher only; null unless scaler.enabled). The
+  // baseline holds each live shard's cumulative stats at the previous
+  // boundary; it is rebased (and the observation skipped) whenever the
+  // shard set changed size since.
+  std::unique_ptr<AutoScaler> scaler_;
+  std::vector<ShardStats> scaler_baseline_;
 };
 
 }  // namespace dynasore::rt

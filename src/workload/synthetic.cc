@@ -63,6 +63,64 @@ RequestLog GenerateSyntheticLog(const graph::SocialGraph& g,
   return log;
 }
 
+RequestLog GeneratePhasedLog(const graph::SocialGraph& g,
+                             const PhasedLogConfig& config) {
+  RequestLog log = GenerateSyntheticLog(g, config.base);
+  const double begin_frac = std::clamp(config.burst_begin_frac, 0.0, 1.0);
+  const double end_frac = std::clamp(config.burst_end_frac, begin_frac, 1.0);
+  const auto burst_begin =
+      static_cast<SimTime>(begin_frac * static_cast<double>(log.duration));
+  const auto burst_end =
+      static_cast<SimTime>(end_frac * static_cast<double>(log.duration));
+  if (config.burst_multiplier <= 1.0 || burst_end <= burst_begin) return log;
+
+  // (multiplier - 1) extra reads per quiet request inside the window keeps
+  // the quiet phases untouched and lifts the window to multiplier times the
+  // base rate.
+  std::uint64_t window_requests = 0;
+  for (const Request& r : log.requests) {
+    window_requests +=
+        (r.time >= burst_begin && r.time < burst_end) ? 1 : 0;
+  }
+  const auto extra = static_cast<std::uint64_t>(
+      (config.burst_multiplier - 1.0) *
+      static_cast<double>(window_requests));
+
+  // A derived stream keeps the quiet phases bit-identical to the base log
+  // with the same seed regardless of the burst parameters.
+  Rng rng(config.base.seed ^ 0xf1a5c0de5eedULL);
+  std::vector<UserId> hot;
+  if (config.hot_users != 0) {
+    const std::uint32_t count = std::min(config.hot_users, g.num_users());
+    hot.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      hot.push_back(static_cast<UserId>(rng.NextBounded(g.num_users())));
+    }
+  }
+  log.requests.reserve(log.requests.size() + extra);
+  const SimTime window = burst_end - burst_begin;
+  const auto base_size = static_cast<std::ptrdiff_t>(log.requests.size());
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    const UserId reader =
+        hot.empty() ? static_cast<UserId>(rng.NextBounded(g.num_users()))
+                    : hot[rng.NextBounded(hot.size())];
+    log.requests.push_back(Request{
+        burst_begin + rng.NextBounded(window), reader, OpType::kRead});
+  }
+  log.num_reads += extra;
+  // Sort only the appended burst tail and merge: the base log is already
+  // time-ordered, and inplace_merge keeps equal-time base requests in
+  // their original relative order (burst reads slot in after them), so the
+  // quiet phases replay exactly like the base log.
+  const auto by_time = [](const Request& a, const Request& b) {
+    return a.time < b.time;
+  };
+  const auto tail = log.requests.begin() + base_size;
+  std::sort(tail, log.requests.end(), by_time);
+  std::inplace_merge(log.requests.begin(), tail, log.requests.end(), by_time);
+  return log;
+}
+
 DailyProfile ComputeDailyProfile(const RequestLog& log) {
   DailyProfile profile;
   const std::size_t days =

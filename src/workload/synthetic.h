@@ -23,4 +23,31 @@ struct SyntheticLogConfig {
 RequestLog GenerateSyntheticLog(const graph::SocialGraph& g,
                                 const SyntheticLogConfig& config);
 
+// A flash-crowd phase workload: the §4.2 synthetic log plus a burst window
+// in which a hot subset of users issues extra reads, multiplying the
+// request rate — quiet, storm, quiet again. Built to exercise the
+// runtime's load-driven reconfiguration (rt::AutoScaler): the storm pushes
+// per-epoch shard load past any sane split threshold and the trailing
+// quiet phase drops it below the merge threshold, so a correctly tuned
+// scaler must resize up and back down within one run.
+struct PhasedLogConfig {
+  SyntheticLogConfig base;      // quiet-phase traffic
+  // Burst window as fractions of the log duration, [begin, end).
+  double burst_begin_frac = 1.0 / 3.0;
+  double burst_end_frac = 2.0 / 3.0;
+  // Request rate inside the window relative to the quiet rate: a value of
+  // m adds (m - 1) extra reads per quiet-phase request falling in the
+  // window. Values <= 1 add nothing.
+  double burst_multiplier = 6.0;
+  // Users the extra reads are issued by: this many draws sampled uniformly
+  // *with replacement* from the id space (0 = every user, i.e. a flat rate
+  // bump), so the hot set may contain slightly fewer distinct users. A
+  // small hot set skews the burst onto few shards, which is what drives
+  // imbalance-based splits rather than only load-based ones.
+  std::uint32_t hot_users = 0;
+};
+
+RequestLog GeneratePhasedLog(const graph::SocialGraph& g,
+                             const PhasedLogConfig& config);
+
 }  // namespace dynasore::wl

@@ -691,6 +691,106 @@ TEST(ShardedRuntimeTest, OneShardHasNoRemoteLatencySamples) {
   EXPECT_EQ(result.completion_latency.count(), result.expected_requests);
 }
 
+// ----- ShardStats accumulation and per-epoch delta extraction -----
+//
+// The auto-scaler's entire input path: cumulative per-shard stats merged
+// with operator+= and sliced into per-epoch activity with DeltaSince.
+
+ShardStats FilledStats(std::uint64_t base) {
+  ShardStats s;
+  s.requests = base + 1;
+  s.reads = base + 2;
+  s.writes = base + 3;
+  s.remote_read_slices = base + 4;
+  s.remote_write_applies = base + 5;
+  s.remote_slice_msgs = base + 6;
+  s.messages_sent = base + 7;
+  s.eager_drains = base + 8;
+  s.epochs = base + 9;
+  s.task_batches = base + 10;
+  s.queue_backlog_sum = base + 11;
+  return s;
+}
+
+// Unlike ExpectStatsEq above (which skips scheduling-dependent fields for
+// cross-run comparisons), the accumulation algebra must cover every field.
+void ExpectStatsExact(const ShardStats& a, const ShardStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.remote_read_slices, b.remote_read_slices);
+  EXPECT_EQ(a.remote_write_applies, b.remote_write_applies);
+  EXPECT_EQ(a.remote_slice_msgs, b.remote_slice_msgs);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.eager_drains, b.eager_drains);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.task_batches, b.task_batches);
+  EXPECT_EQ(a.queue_backlog_sum, b.queue_backlog_sum);
+}
+
+TEST(ShardStatsTest, PlusEqualsSumsEveryFieldIndependently) {
+  ShardStats sum = FilledStats(100);
+  sum += FilledStats(1000);
+  // Distinct per-field offsets (1..11) catch any crossed-wire merge.
+  EXPECT_EQ(sum.requests, 101u + 1001u);
+  EXPECT_EQ(sum.reads, 102u + 1002u);
+  EXPECT_EQ(sum.writes, 103u + 1003u);
+  EXPECT_EQ(sum.remote_read_slices, 104u + 1004u);
+  EXPECT_EQ(sum.remote_write_applies, 105u + 1005u);
+  EXPECT_EQ(sum.remote_slice_msgs, 106u + 1006u);
+  EXPECT_EQ(sum.messages_sent, 107u + 1007u);
+  EXPECT_EQ(sum.eager_drains, 108u + 1008u);
+  EXPECT_EQ(sum.epochs, 109u + 1009u);
+  EXPECT_EQ(sum.task_batches, 110u + 1010u);
+  EXPECT_EQ(sum.queue_backlog_sum, 111u + 1011u);
+  // Adding a default-constructed delta is the identity.
+  ShardStats unchanged = FilledStats(100);
+  unchanged += ShardStats{};
+  ExpectStatsExact(unchanged, FilledStats(100));
+}
+
+TEST(ShardStatsTest, DeltaSinceExtractsOneEpochOfActivity) {
+  const ShardStats baseline = FilledStats(100);
+  ShardStats current = baseline;
+  current += FilledStats(50);  // one epoch's worth of activity
+  ExpectStatsExact(current.DeltaSince(baseline), FilledStats(50));
+  // Delta then re-accumulate round-trips: baseline + delta == current.
+  ShardStats rebuilt = baseline;
+  rebuilt += current.DeltaSince(baseline);
+  ExpectStatsExact(rebuilt, current);
+}
+
+TEST(ShardStatsTest, DeltaOfAnEmptyEpochIsAllZero) {
+  const ShardStats baseline = FilledStats(77);
+  ExpectStatsExact(baseline.DeltaSince(baseline), ShardStats{});
+}
+
+TEST(ShardStatsTest, OverflowEdgesAreWellDefined) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  // += is modular uint64 arithmetic: merging cannot trap, and a counter at
+  // the ceiling wraps like any unsigned sum.
+  ShardStats a;
+  a.requests = kMax;
+  ShardStats b;
+  b.requests = 2;
+  a += b;
+  EXPECT_EQ(a.requests, 1u);
+  // DeltaSince saturates at 0 instead of wrapping to ~2^64 when a field
+  // runs backwards (a bug, or a wrapped counter), so a corrupt input
+  // degrades to "no activity" rather than an instant scaler trigger.
+  ShardStats behind;
+  behind.requests = 5;
+  ShardStats ahead;
+  ahead.requests = 9;
+  EXPECT_EQ(behind.DeltaSince(ahead).requests, 0u);
+  // Near the ceiling the subtraction itself stays exact.
+  ShardStats top;
+  top.requests = kMax;
+  ShardStats just_below;
+  just_below.requests = kMax - 3;
+  EXPECT_EQ(top.DeltaSince(just_below).requests, 3u);
+}
+
 // ----- Config validation -----
 
 TEST(ShardedRuntimeTest, ConstructionRejectsInvalidConfig) {
@@ -749,6 +849,23 @@ TEST(ShardedRuntimeTest, ValidationErrorsNameTheOffendingField) {
   zero_batch.batch_size = 0;
   EXPECT_NE(message_of(zero_batch).find("batch_size must be at least 1"),
             std::string::npos);
+
+  // The staleness bound is compared in nanoseconds: values above 2^64/1000
+  // µs used to be clamped silently at the use site; they are now rejected
+  // here, with the documented maximum the boundary value still accepted.
+  RuntimeConfig oversized_staleness;
+  oversized_staleness.staleness_micros = RuntimeConfig::kMaxStalenessMicros + 1;
+  EXPECT_NE(message_of(oversized_staleness)
+                .find("staleness_micros must be <= kMaxStalenessMicros"),
+            std::string::npos);
+  RuntimeConfig max_staleness;
+  max_staleness.staleness_micros = RuntimeConfig::kMaxStalenessMicros;
+  EXPECT_NO_THROW(max_staleness.Validate());
+
+  // Validate folds in the auto-scaler's own checks (runtime_config.h).
+  RuntimeConfig bad_scaler;
+  bad_scaler.scaler.min_shards = 0;
+  EXPECT_NE(message_of(bad_scaler).find("min_shards"), std::string::npos);
 
   EXPECT_NO_THROW(RuntimeConfig{}.Validate());  // defaults are valid
 
