@@ -21,7 +21,13 @@
 // and every incremental event to migrate at most migration_batch views.
 //
 // Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME --smoke
-// --csv-dir=PATH. --smoke caps scale/days for a seconds-long CI run.
+// --csv-dir=PATH --trace=PATH --timeseries=PATH. --smoke caps scale/days
+// for a seconds-long CI run. The telemetry export rides the adaptive
+// auto run — the closed loop with single-pause resizes, whose trace shows
+// the scaler's decisions through the full 1 -> 2 -> 4 -> 2 -> 1 round trip
+// (auto-incr's trailing merge window outlives the day-long log, so its
+// timeline stops at 2 shards; results/runtime_autoscale_trace.json is a
+// committed sample — see docs/observability.md).
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -98,7 +104,7 @@ rt::RuntimeConfig ScaledConfig(std::uint64_t quiet_ops,
 
 Outcome RunScenario(const graph::SocialGraph& g, const wl::RequestLog& log,
                     bool adaptive, const BenchArgs& args, const Scenario& sc,
-                    std::uint64_t quiet_ops) {
+                    std::uint64_t quiet_ops, bool telemetry) {
   sim::ExperimentConfig config;
   config.policy = adaptive ? sim::Policy::kDynaSoRe : sim::Policy::kRandom;
   config.extra_memory_pct = 50;
@@ -111,8 +117,9 @@ Outcome RunScenario(const graph::SocialGraph& g, const wl::RequestLog& log,
   const place::PlacementResult placement = sim::MakeInitialPlacement(
       g, topo, engine.store.capacity_views, config);
 
-  rt::ShardedRuntime runtime(g, topo, placement, engine,
-                             ScaledConfig(quiet_ops, sc));
+  rt::RuntimeConfig rt_config = ScaledConfig(quiet_ops, sc);
+  rt_config.telemetry.enabled = telemetry;
+  rt::ShardedRuntime runtime(g, topo, placement, engine, rt_config);
   Outcome out;
   out.result = runtime.Run(log);
   if (runtime.auto_scaler() != nullptr) {
@@ -164,9 +171,15 @@ bool ReportMode(const graph::SocialGraph& g, const wl::RequestLog& log,
   bool all_ok = true;
 
   for (const Scenario& sc : scenarios) {
+    // Telemetry export rides the adaptive auto run: the closed loop with
+    // single-pause resizes — the scenario whose timeline completes the
+    // whole 1 -> 2 -> 4 -> 2 -> 1 round trip within the log.
+    const bool telemetry = adaptive && bench::WantRunTelemetry(args) &&
+                           sc.scaled && sc.migration_batch == 0;
     const Outcome out =
-        RunScenario(g, log, adaptive, args, sc, quiet_ops);
+        RunScenario(g, log, adaptive, args, sc, quiet_ops, telemetry);
     const rt::RuntimeResult& r = out.result;
+    if (telemetry) bench::SaveRunTelemetry(args, r);
 
     bool ok = out.conserved && out.batches_bounded;
     if (sc.scaled) ok = ok && out.split_and_merged;
@@ -261,10 +274,7 @@ bool ReportMode(const graph::SocialGraph& g, const wl::RequestLog& log,
 
 int main(int argc, char** argv) {
   BenchArgs args = bench::ParseArgs(argc, argv);
-  if (args.smoke) {
-    args.scale = std::min(args.scale, 0.001);
-    args.days = std::min(args.days, 0.5);
-  }
+  bench::ApplySmoke(args);
   const auto g = bench::MakeGraph(args.graph, args);
 
   wl::PhasedLogConfig phased;
@@ -281,13 +291,10 @@ int main(int argc, char** argv) {
 
   std::printf("== Load-driven auto-reconfiguration: flash-crowd workload "
               "(scale=%g, days=%g) ==\n", args.scale, args.days);
-  std::printf("users=%u requests=%zu (%llu reads, %llu writes), "
-              "burst window [%llu, %llu)s at 6x\n\n",
-              g.num_users(), log.requests.size(),
-              static_cast<unsigned long long>(log.num_reads),
-              static_cast<unsigned long long>(log.num_writes),
+  std::printf("burst window [%llu, %llu)s at 6x\n",
               static_cast<unsigned long long>(log.duration / 3),
               static_cast<unsigned long long>(2 * log.duration / 3));
+  bench::PrintWorkloadSummary(g, log);
 
   std::string csv = kCsvHeader;
   bool ok = ReportMode(g, log, /*adaptive=*/false, args, migration_batch, &csv);

@@ -12,10 +12,12 @@
 // exactly the logged request count, and under the static engine their
 // aggregate counters must be bit-identical to the static-shard baseline.
 //
-// Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME
-// --csv-dir=PATH.
+// Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME --smoke
+// --csv-dir=PATH --trace=PATH --timeseries=PATH (telemetry export from the
+// adaptive split+merge scenario).
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_util.h"
@@ -52,7 +54,7 @@ std::uint64_t FinalShards(const rt::RuntimeResult& r) {
 
 RunOutcome RunScenario(const graph::SocialGraph& g, const wl::RequestLog& log,
                        bool adaptive, const BenchArgs& args,
-                       const Scenario& sc) {
+                       const Scenario& sc, bool telemetry) {
   sim::ExperimentConfig config;
   config.policy = adaptive ? sim::Policy::kDynaSoRe : sim::Policy::kRandom;
   config.extra_memory_pct = 50;
@@ -67,6 +69,7 @@ RunOutcome RunScenario(const graph::SocialGraph& g, const wl::RequestLog& log,
 
   rt::RuntimeConfig rt_config;
   rt_config.num_shards = sc.start_shards;
+  rt_config.telemetry.enabled = telemetry;
   rt::ShardedRuntime runtime(g, topo, placement, engine, rt_config);
 
   const std::uint64_t epochs =
@@ -112,8 +115,13 @@ bool ReportMode(const graph::SocialGraph& g, const wl::RequestLog& log,
 
   bool all_ok = true;
   for (const Scenario& sc : scenarios) {
-    const RunOutcome out = RunScenario(g, log, adaptive, args, sc);
+    // Telemetry export rides the adaptive split+merge round trip — the
+    // scenario whose trace shows both resize directions.
+    const bool telemetry = adaptive && bench::WantRunTelemetry(args) &&
+                           std::string_view(sc.name) == "split+merge";
+    const RunOutcome out = RunScenario(g, log, adaptive, args, sc, telemetry);
     const rt::RuntimeResult& r = out.result;
+    if (telemetry) bench::SaveRunTelemetry(args, r);
 
     std::uint64_t pause_total_ns = 0;
     for (const rt::ReconfigEvent& e : r.reconfig_events) {
@@ -186,15 +194,13 @@ bool ReportMode(const graph::SocialGraph& g, const wl::RequestLog& log,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = bench::ParseArgs(argc, argv);
+  BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::ApplySmoke(args);
   const auto g = bench::MakeGraph(args.graph, args);
   const auto log = bench::MakeSyntheticLog(g, args);
   std::printf("== Online reconfiguration: pause and post-resize throughput "
               "(scale=%g, days=%g) ==\n", args.scale, args.days);
-  std::printf("users=%u requests=%zu (%llu reads, %llu writes)\n\n",
-              g.num_users(), log.requests.size(),
-              static_cast<unsigned long long>(log.num_reads),
-              static_cast<unsigned long long>(log.num_writes));
+  bench::PrintWorkloadSummary(g, log);
 
   std::string csv = kCsvHeader;
   bool ok = ReportMode(g, log, /*adaptive=*/false, args, &csv);

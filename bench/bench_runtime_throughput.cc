@@ -17,9 +17,10 @@
 // epoch drain hides). Each configuration runs with the persistent store's
 // payload mode off and on, measuring the replicated-write coherence path.
 //
-// Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME
-// --csv-dir=PATH. Extra environment knob: RUNTIME_MAX_SHARDS caps the
-// sweep.
+// Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME --smoke
+// --csv-dir=PATH --trace=PATH --timeseries=PATH (telemetry export from the
+// spsc+epoch payload-off fabric-comparison run). Extra environment knob:
+// RUNTIME_MAX_SHARDS caps the sweep.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -120,6 +121,9 @@ RunRow RunOnce(const WorkloadCase& wc, const rt::RuntimeConfig& rt_config,
     *balance_out = parted.balance_factor();
   }
   const rt::RuntimeResult result = runtime.Run(*wc.log, wc.flash);
+  if (rt_config.telemetry.enabled) {
+    bench::SaveRunTelemetry(*wc.args, result);
+  }
 
   RunRow row;
   row.shards = rt_config.num_shards;
@@ -212,6 +216,13 @@ void RunFabricComparison(WorkloadCase wc, std::uint32_t shards,
       rt_config.num_shards = shards;
       rt_config.transport = c.transport;
       rt_config.drain = c.drain;
+      // Telemetry export rides the spsc+epoch payload-off run — the
+      // default-transport configuration, so the trace shows the plane CI
+      // exercises everywhere else.
+      rt_config.telemetry.enabled = bench::WantRunTelemetry(*wc.args) &&
+                                    !payload &&
+                                    c.transport == rt::FabricTransport::kSpsc &&
+                                    c.drain == rt::DrainPolicy::kEpoch;
       RunRow row = RunOnce(wc, rt_config);
       row.label = std::string(TransportName(c.transport)) + "+" +
                   DrainName(c.drain);
@@ -233,7 +244,8 @@ void RunFabricComparison(WorkloadCase wc, std::uint32_t shards,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = bench::ParseArgs(argc, argv);
+  BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::ApplySmoke(args);
   const std::vector<std::uint32_t> sweep = ShardSweep();
   const unsigned hc = std::thread::hardware_concurrency();
   std::printf("== Runtime throughput: shard sweep 1..%u "
@@ -247,10 +259,7 @@ int main(int argc, char** argv) {
 
   const auto g = bench::MakeGraph(args.graph, args);
   const auto log = bench::MakeSyntheticLog(g, args);
-  std::printf("users=%u requests=%zu (%llu reads, %llu writes)\n\n",
-              g.num_users(), log.requests.size(),
-              static_cast<unsigned long long>(log.num_reads),
-              static_cast<unsigned long long>(log.num_writes));
+  bench::PrintWorkloadSummary(g, log);
 
   common::Rng rng(args.seed + 1000);
   wl::FlashConfig flash_config;

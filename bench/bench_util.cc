@@ -5,7 +5,10 @@
 #include <filesystem>
 #include <string_view>
 
+#include <algorithm>
+
 #include "common/table.h"
+#include "runtime/telemetry.h"
 #include "workload/synthetic.h"
 
 namespace dynasore::bench {
@@ -38,6 +41,10 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.trials = std::atoi(std::string(value).c_str());
     } else if (ConsumeFlag(arg, "--csv-dir=", value)) {
       args.csv_dir = std::string(value);
+    } else if (ConsumeFlag(arg, "--trace=", value)) {
+      args.trace_path = std::string(value);
+    } else if (ConsumeFlag(arg, "--timeseries=", value)) {
+      args.timeseries_path = std::string(value);
     } else if (arg == "--all-graphs") {
       args.all_graphs = true;
     } else if (arg == "--smoke") {
@@ -64,6 +71,57 @@ BenchArgs ParseArgs(int argc, char** argv) {
     args.scale = std::atof(env);
   }
   return args;
+}
+
+void ApplySmoke(BenchArgs& args) {
+  if (!args.smoke) return;
+  args.scale = std::min(args.scale, 0.001);
+  args.days = std::min(args.days, 0.5);
+}
+
+void PrintWorkloadSummary(const graph::SocialGraph& g,
+                          const wl::RequestLog& log) {
+  std::printf("users=%u requests=%zu (%llu reads, %llu writes)\n\n",
+              g.num_users(), log.requests.size(),
+              static_cast<unsigned long long>(log.num_reads),
+              static_cast<unsigned long long>(log.num_writes));
+}
+
+bool WantRunTelemetry(const BenchArgs& args) {
+  return !args.trace_path.empty() || !args.timeseries_path.empty();
+}
+
+void SaveRunTelemetry(const BenchArgs& args, const rt::RuntimeResult& result) {
+  if (!WantRunTelemetry(args)) return;
+  if (result.telemetry == nullptr) {
+    std::fprintf(stderr,
+                 "[telemetry] --trace/--timeseries given but the run carried "
+                 "no telemetry snapshot\n");
+    return;
+  }
+  if (!args.trace_path.empty()) {
+    const std::string json = rt::ChromeTraceJson(*result.telemetry);
+    if (common::WriteCsvFile(args.trace_path, json)) {
+      std::printf("[trace] wrote %s (%zu events, %llu dropped)\n",
+                  args.trace_path.c_str(), result.telemetry->events.size(),
+                  static_cast<unsigned long long>(
+                      result.telemetry->dropped_events));
+    } else {
+      std::fprintf(stderr, "[trace] failed to write %s\n",
+                   args.trace_path.c_str());
+    }
+  }
+  if (!args.timeseries_path.empty()) {
+    const std::string csv = result.telemetry->series.ToCsv();
+    if (common::WriteCsvFile(args.timeseries_path, csv)) {
+      std::printf("[timeseries] wrote %s (%zu rows)\n",
+                  args.timeseries_path.c_str(),
+                  result.telemetry->series.rows().size());
+    } else {
+      std::fprintf(stderr, "[timeseries] failed to write %s\n",
+                   args.timeseries_path.c_str());
+    }
+  }
 }
 
 graph::SocialGraph MakeGraph(const std::string& name, const BenchArgs& args) {

@@ -12,6 +12,10 @@
 #include "sim/experiment.h"
 #include "workload/request_log.h"
 
+namespace dynasore::rt {
+struct RuntimeResult;  // runtime/sharded_runtime.h
+}
+
 namespace dynasore::bench {
 
 struct BenchArgs {
@@ -29,12 +33,36 @@ struct BenchArgs {
   // CI smoke mode: benches that honor it cap scale/days to a seconds-long
   // run while keeping their correctness verdict (and its exit code) intact.
   bool smoke = false;
+  // Telemetry export paths (--trace= / --timeseries=). When either is set,
+  // runtime benches enable rt::Telemetry on their designated scenario and
+  // SaveRunTelemetry writes the Chrome trace JSON / per-epoch CSV there.
+  std::string trace_path;
+  std::string timeseries_path;
 };
 
 // Recognized flags: --scale=F --days=F --seed=N --graph=NAME --trials=N
-// --points=A,B,C --all-graphs --smoke --csv-dir=PATH. Environment variable
-// REPRO_SCALE overrides --scale when set.
+// --points=A,B,C --all-graphs --smoke --csv-dir=PATH --trace=PATH
+// --timeseries=PATH. Environment variable REPRO_SCALE overrides --scale
+// when set.
 BenchArgs ParseArgs(int argc, char** argv);
+
+// Applies the shared smoke caps (scale <= 0.001, days <= 0.5) when
+// args.smoke is set — every bench honors --smoke identically.
+void ApplySmoke(BenchArgs& args);
+
+// The shared "users=… requests=… (reads, writes)" banner line.
+void PrintWorkloadSummary(const graph::SocialGraph& g,
+                          const wl::RequestLog& log);
+
+// True when the user asked for a telemetry export (--trace/--timeseries) —
+// the bench's designated run should enable RuntimeConfig::telemetry.
+bool WantRunTelemetry(const BenchArgs& args);
+
+// Writes the run's telemetry to the requested paths: Chrome trace-event
+// JSON to args.trace_path, per-epoch metric CSV to args.timeseries_path
+// (each skipped when its path is empty). No-op with a warning when the
+// result carries no telemetry snapshot.
+void SaveRunTelemetry(const BenchArgs& args, const rt::RuntimeResult& result);
 
 // Generates the graph for `name` ("twitter" / "facebook" / "livejournal").
 graph::SocialGraph MakeGraph(const std::string& name, const BenchArgs& args);

@@ -24,6 +24,25 @@ std::uint64_t LatencyHistogram::BucketUpper(std::size_t i) {
   return ((kSub + sub + 1) << (exp - kSubBits)) - 1;
 }
 
+std::uint64_t LatencyHistogram::BucketLower(std::size_t i) {
+  constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  if (i < kSub) return i;
+  const int exp = static_cast<int>(i >> kSubBits) + kSubBits - 1;
+  const std::uint64_t sub = i & (kSub - 1);
+  return (kSub + sub) << (exp - kSubBits);
+}
+
+std::string LatencyHistogram::ToCsv() const {
+  std::string csv = "bucket_lower_ns,count\n";
+  VisitBuckets([&](std::uint64_t lower, std::uint64_t count) {
+    csv.append(std::to_string(lower))
+        .append(",")
+        .append(std::to_string(count))
+        .append("\n");
+  });
+  return csv;
+}
+
 void LatencyHistogram::Add(std::uint64_t nanos) {
   ++buckets_[BucketOf(nanos)];
   ++count_;

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace dynasore::common {
 
@@ -43,9 +44,27 @@ class LatencyHistogram {
   std::uint64_t bucket_count(std::size_t i) const { return buckets_[i]; }
 
   // Bucket mapping, exposed for tests: BucketOf(v) is the index v lands in,
-  // BucketUpper(i) the largest value bucket i holds.
+  // BucketUpper(i) the largest value bucket i holds, BucketLower(i) the
+  // smallest — so bucket i covers exactly [BucketLower(i), BucketUpper(i)].
   static std::size_t BucketOf(std::uint64_t v);
   static std::uint64_t BucketUpper(std::size_t i);
+  static std::uint64_t BucketLower(std::size_t i);
+
+  // Calls fn(lower_bound_ns, count) for every non-empty bucket in ascending
+  // value order — the full-distribution export path (telemetry CSV dumps),
+  // as opposed to the fixed percentile set.
+  template <typename Fn>
+  void VisitBuckets(Fn&& fn) const {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      if (buckets_[i] != 0) fn(BucketLower(i), buckets_[i]);
+    }
+  }
+
+  // CSV of the non-empty buckets: "bucket_lower_ns,count" header plus one
+  // row per bucket, ascending. Round-trips exactly: re-Adding each row's
+  // lower bound `count` times rebuilds identical bucket counts (a bucket's
+  // lower bound maps back into that bucket).
+  std::string ToCsv() const;
 
  private:
   std::array<std::uint64_t, kNumBuckets> buckets_{};

@@ -1,0 +1,128 @@
+// Fixed-schema per-epoch metric time series: the storage layer beneath
+// rt::Telemetry's metrics registry.
+//
+// A MetricSeries is declared once with an ordered list of MetricDefs (the
+// schema) and then accumulates one Row per (epoch boundary, shard): the
+// epoch index, the boundary's simulated time, the shard id, and one double
+// per schema column. Rows are plain values; nothing is derived until export
+// (ToCsv) or analysis. Counters carry the *delta for that epoch* (so
+// columns sum to run totals and series from different sources merge by
+// concatenation); gauges carry a point-in-time level (mergeable but not
+// summable).
+//
+// Thread-safety: none — single-writer, like the rest of common/. The
+// runtime's dispatcher appends rows only at quiescent points and snapshots
+// the series after the run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dynasore::common {
+
+enum class MetricKind : std::uint8_t {
+  kCounter,  // per-epoch delta of a monotone count; sums to the run total
+  kGauge,    // level sampled at the boundary (depth, backlog, progress)
+};
+
+struct MetricDef {
+  const char* name = "";  // CSV column header; [a-z0-9_] by convention
+  MetricKind kind = MetricKind::kCounter;
+  const char* unit = "";  // "ops", "ns", "batches", ... (documentation only)
+};
+
+class MetricSeries {
+ public:
+  struct Row {
+    std::uint64_t epoch = 0;      // boundary index within the run
+    std::uint64_t epoch_end = 0;  // boundary's simulated time (seconds)
+    std::uint32_t shard = 0;
+    std::vector<double> values;   // one per schema column, in schema order
+  };
+
+  MetricSeries() = default;
+  explicit MetricSeries(std::vector<MetricDef> schema)
+      : schema_(std::move(schema)) {}
+
+  const std::vector<MetricDef>& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  // Appends one sample row. The row must carry exactly one value per schema
+  // column — a mismatch is a caller bug and throws rather than silently
+  // shearing columns.
+  void Append(Row row) {
+    if (row.values.size() != schema_.size()) {
+      throw std::invalid_argument(
+          "MetricSeries::Append: row value count does not match the schema");
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  // Concatenates another series with the identical schema (same column
+  // count, names, and kinds, in order). Counters stay summable because every
+  // row is a per-epoch delta; a schema mismatch throws.
+  void Merge(const MetricSeries& other) {
+    if (other.schema_.size() != schema_.size()) {
+      throw std::invalid_argument(
+          "MetricSeries::Merge: schemas differ in column count");
+    }
+    for (std::size_t i = 0; i < schema_.size(); ++i) {
+      if (std::string_view(schema_[i].name) !=
+              std::string_view(other.schema_[i].name) ||
+          schema_[i].kind != other.schema_[i].kind) {
+        throw std::invalid_argument(
+            "MetricSeries::Merge: schemas differ at column " +
+            std::to_string(i));
+      }
+    }
+    rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+  }
+
+  // Sums one counter column over every row — the reconciliation hook
+  // (telemetry tests check these sums against RuntimeResult counters).
+  // Returns 0 for an unknown column name.
+  double ColumnTotal(std::string_view name) const {
+    for (std::size_t i = 0; i < schema_.size(); ++i) {
+      if (std::string_view(schema_[i].name) != name) continue;
+      double total = 0;
+      for (const Row& row : rows_) total += row.values[i];
+      return total;
+    }
+    return 0;
+  }
+
+  // CSV export: "epoch,epoch_end_s,shard,<schema names...>", one row per
+  // Append, values printed with %.17g so counters survive a round trip
+  // exactly.
+  std::string ToCsv() const {
+    std::string csv = "epoch,epoch_end_s,shard";
+    for (const MetricDef& def : schema_) {
+      csv.append(",").append(def.name);
+    }
+    csv.append("\n");
+    char buf[64];
+    for (const Row& row : rows_) {
+      csv.append(std::to_string(row.epoch)).append(",");
+      csv.append(std::to_string(row.epoch_end)).append(",");
+      csv.append(std::to_string(row.shard));
+      for (const double v : row.values) {
+        std::snprintf(buf, sizeof(buf), ",%.17g", v);
+        csv.append(buf);
+      }
+      csv.append("\n");
+    }
+    return csv;
+  }
+
+ private:
+  std::vector<MetricDef> schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dynasore::common

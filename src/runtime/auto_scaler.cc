@@ -43,6 +43,8 @@ std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
     --cooldown_left_;
     cold_streak_ = 0;
     obs.reason = "cooldown";
+    obs.cooldown_left = cooldown_left_;
+    obs.cold_streak = cold_streak_;
     history_.push_back(obs);
     return 0;
   }
@@ -67,6 +69,8 @@ std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
       obs.reason = reason;
       cooldown_left_ = config_.cooldown_epochs;
       cold_streak_ = 0;
+      obs.cooldown_left = cooldown_left_;
+      obs.cold_streak = cold_streak_;
       history_.push_back(obs);
       return obs.decision;
     }
@@ -83,6 +87,8 @@ std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
       obs.reason = "merge-cold";
       cooldown_left_ = config_.cooldown_epochs;
       cold_streak_ = 0;
+      obs.cooldown_left = cooldown_left_;
+      obs.cold_streak = cold_streak_;
       history_.push_back(obs);
       return obs.decision;
     }
@@ -90,6 +96,8 @@ std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
     cold_streak_ = 0;
   }
 
+  obs.cooldown_left = cooldown_left_;
+  obs.cold_streak = cold_streak_;
   history_.push_back(obs);
   return 0;
 }

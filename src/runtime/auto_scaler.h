@@ -42,6 +42,13 @@ struct ScalerObservation {
   const char* reason = "";         // "", "cooldown", "split-load",
                                    // "split-imbalance", "split-queue",
                                    // "merge-cold"
+  // Hysteresis state *after* this boundary's bookkeeping: boundaries still
+  // to hold before the next decision, and consecutive cold epochs counted
+  // toward a merge. A firing decision resets both (cooldown restarts at
+  // config.cooldown_epochs for the *next* observation). Telemetry exports
+  // these with every decision so a trace shows why the scaler held.
+  std::uint32_t cooldown_left = 0;
+  std::uint32_t cold_streak = 0;
 };
 
 class AutoScaler {

@@ -78,6 +78,12 @@ class Fabric {
   virtual std::uint64_t OldestDispatchNs(std::uint32_t src,
                                          std::uint32_t dst) = 0;
 
+  // Consumer side: batches currently queued on the channel — telemetry's
+  // ring-depth probe. The producer may be mid-push, so the value is a lower
+  // bound at the instant of the call; exact whenever the producer is
+  // quiescent (epoch-boundary drains, where the runtime samples it).
+  virtual std::uint32_t Depth(std::uint32_t src, std::uint32_t dst) = 0;
+
   // The shard count this fabric was built for — immutable for the fabric's
   // lifetime (see the reconfiguration note above).
   virtual std::uint32_t num_shards() const = 0;

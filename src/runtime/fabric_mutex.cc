@@ -48,6 +48,12 @@ class MutexFabric final : public Fabric {
     return ch.batches.front().ops.front().dispatch_ns;
   }
 
+  std::uint32_t Depth(std::uint32_t src, std::uint32_t dst) override {
+    Channel& ch = at(src, dst);
+    std::lock_guard lock(ch.mutex);
+    return static_cast<std::uint32_t>(ch.batches.size());
+  }
+
   std::uint32_t num_shards() const override { return num_shards_; }
 
   const char* name() const override { return "mutex"; }

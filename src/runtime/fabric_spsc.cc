@@ -40,6 +40,10 @@ class SpscFabric final : public Fabric {
     return front == nullptr ? 0 : front->ops.front().dispatch_ns;
   }
 
+  std::uint32_t Depth(std::uint32_t src, std::uint32_t dst) override {
+    return static_cast<std::uint32_t>(at(src, dst).Size());
+  }
+
   std::uint32_t num_shards() const override { return num_shards_; }
 
   const char* name() const override { return "spsc"; }

@@ -125,6 +125,33 @@ struct AutoScalerConfig {
   }
 };
 
+// Observability layer (rt::Telemetry): per-epoch metric sampling plus a
+// per-shard ring-buffered structured event trace, exportable as a Chrome
+// trace-event JSON (Perfetto) and a per-epoch CSV time series. Disabled by
+// default and compiled in: when off the runtime carries a null Telemetry
+// pointer and the hot path pays one branch per instrumentation site — no
+// clock reads, no event writes, and bit-identical results to a build that
+// never had the layer (runtime_telemetry_test.cc pins this).
+struct TelemetryConfig {
+  bool enabled = false;
+
+  // Trace ring capacity per track (one track per shard plus the
+  // dispatcher), in events. The ring overwrites its oldest events and the
+  // snapshot reports how many were dropped; per-track sequence numbers stay
+  // monotone across drops. Valid range: >= 1 when enabled (see Validate).
+  std::uint32_t event_capacity = 16384;
+
+  // Checks the ranges above; throws std::invalid_argument naming the
+  // offending field. Called by RuntimeConfig::Validate.
+  void Validate() const {
+    if (enabled && event_capacity == 0) {
+      throw std::invalid_argument(
+          "TelemetryConfig::event_capacity must be at least 1 when telemetry "
+          "is enabled (a zero-capacity trace ring cannot hold any event)");
+    }
+  }
+};
+
 struct RuntimeConfig {
   // Worker shards, each backed by its own core::Engine. 1 means the
   // single-shard configuration whose counters must match the sequential
@@ -194,6 +221,9 @@ struct RuntimeConfig {
   // AutoScalerConfig above).
   AutoScalerConfig scaler;
 
+  // Observability layer; disabled by default (see TelemetryConfig above).
+  TelemetryConfig telemetry;
+
   // false selects the deterministic inline fallback: the same epoch state
   // machine executed on the calling thread, shard by shard, with no threads
   // or locks involved. Produces byte-identical results to the threaded
@@ -228,6 +258,7 @@ struct RuntimeConfig {
           "values overflow the clock domain");
     }
     scaler.Validate();
+    telemetry.Validate();
   }
 };
 

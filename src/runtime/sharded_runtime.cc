@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "runtime/auto_scaler.h"
+#include "runtime/telemetry.h"
 
 namespace dynasore::rt {
 
@@ -111,6 +112,10 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
   InstallMaintenanceOwners();
   if (config_.scaler.enabled) {
     scaler_ = std::make_unique<AutoScaler>(config_.scaler);
+  }
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<Telemetry>(config_.telemetry, n);
+    WireTelemetryTracks();
   }
 }
 
@@ -299,6 +304,7 @@ void ShardedRuntime::ApplyReconfigure(std::uint32_t new_count, bool threaded,
     }
     throw;
   }
+  WireTelemetryTracks();
   if (threaded) {
     for (std::uint32_t s = old_n; s < new_count; ++s) {
       Shard* sp = shards_[s].get();
@@ -306,9 +312,13 @@ void ShardedRuntime::ApplyReconfigure(std::uint32_t new_count, bool threaded,
     }
   }
 
-  reconfig_events_.push_back(ReconfigEvent{epoch_end, old_n, new_count,
-                                           migrated, /*views_pending=*/0,
-                                           NowNs() - t0});
+  ReconfigEvent event;
+  event.epoch_end = epoch_end;
+  event.from_shards = old_n;
+  event.to_shards = new_count;
+  event.views_migrated = migrated;
+  event.pause_ns = NowNs() - t0;
+  AppendReconfigEvent(event, TraceEventType::kReconfigure, t0);
   // The old per-shard baselines no longer describe this shard set; the
   // next boundary rebases instead of observing (a retired-then-respawned
   // shard id must not inherit its predecessor's cumulative stats).
@@ -393,6 +403,7 @@ void ShardedRuntime::BeginReconfigure(std::uint32_t new_count, bool threaded,
       MigrationWindow{std::move(target), old_n, new_count, std::move(ledger), 0});
   map_ = ShardMap::Transition(migration_->target, live, migration_->ledger, 0);
   InstallMaintenanceOwners();
+  WireTelemetryTracks();
 
   const std::uint64_t migrated = MigrateNextBatch(batch);
   const std::uint64_t pending =
@@ -401,8 +412,15 @@ void ShardedRuntime::BeginReconfigure(std::uint32_t new_count, bool threaded,
   // boundary: one event, no dual-ownership epoch, and the ledger scan
   // above is part of the reported pause exactly once.
   if (pending == 0) CompleteMigration();
-  reconfig_events_.push_back(ReconfigEvent{epoch_end, old_n, new_count,
-                                           migrated, pending, NowNs() - t0});
+  ReconfigEvent event;
+  event.epoch_end = epoch_end;
+  event.from_shards = old_n;
+  event.to_shards = new_count;
+  event.views_migrated = migrated;
+  event.views_pending = pending;
+  event.pause_ns = NowNs() - t0;
+  AppendReconfigEvent(event, TraceEventType::kBeginReconfigure, t0);
+  if (pending == 0) EmitMigrationComplete(old_n, new_count);
 }
 
 std::uint64_t ShardedRuntime::MigrateNextBatch(std::uint64_t batch) {
@@ -484,6 +502,24 @@ void ShardedRuntime::CompleteMigration() {
   migration_.reset();
 }
 
+// The kCompleteMigration instant is emitted by the *callers* of
+// CompleteMigration, after they append their own step/begin event: the
+// step span carries ts = its start, so emitting the (later-stamped)
+// completion instant first would break the track's chronological order.
+// Never reached on the exception path — a throw unwinds before the caller
+// gets here.
+void ShardedRuntime::EmitMigrationComplete(std::uint32_t from_shards,
+                                           std::uint32_t to_shards) {
+  if (telemetry_ == nullptr) return;
+  TraceEvent e;
+  e.type = TraceEventType::kCompleteMigration;
+  e.ts_ns = NowNs();
+  e.epoch = boundary_epoch_index_;
+  e.u0 = from_shards;
+  e.u1 = to_shards;
+  telemetry_->dispatcher_track()->Emit(e);
+}
+
 void ShardedRuntime::StepMigration(SimTime epoch_end) {
   const std::uint64_t t0 = NowNs();
   const std::uint32_t from = migration_->from_shards;
@@ -491,8 +527,15 @@ void ShardedRuntime::StepMigration(SimTime epoch_end) {
   const std::uint64_t migrated = MigrateNextBatch(config_.migration_batch);
   const std::uint64_t pending = migration_->ledger->size() - migration_->next;
   if (pending == 0) CompleteMigration();
-  reconfig_events_.push_back(
-      ReconfigEvent{epoch_end, from, to, migrated, pending, NowNs() - t0});
+  ReconfigEvent event;
+  event.epoch_end = epoch_end;
+  event.from_shards = from;
+  event.to_shards = to;
+  event.views_migrated = migrated;
+  event.views_pending = pending;
+  event.pause_ns = NowNs() - t0;
+  AppendReconfigEvent(event, TraceEventType::kStepMigration, t0);
+  if (pending == 0) EmitMigrationComplete(from, to);
 }
 
 void ShardedRuntime::FinishMigrationNow() {
@@ -502,9 +545,13 @@ void ShardedRuntime::FinishMigrationNow() {
   const std::uint64_t migrated =
       MigrateNextBatch(migration_->ledger->size() - migration_->next);
   CompleteMigration();
-  reconfig_events_.push_back(ReconfigEvent{/*epoch_end=*/0, from, to,
-                                           migrated, /*views_pending=*/0,
-                                           NowNs() - t0});
+  ReconfigEvent event;
+  event.from_shards = from;
+  event.to_shards = to;
+  event.views_migrated = migrated;
+  event.pause_ns = NowNs() - t0;
+  AppendReconfigEvent(event, TraceEventType::kStepMigration, t0);
+  EmitMigrationComplete(from, to);
 }
 
 void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
@@ -522,10 +569,116 @@ void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
     }
     const std::uint32_t target =
         scaler_->Observe(epoch_index, map_.num_shards(), deltas);
+    // Mirror the observation — trigger inputs, hysteresis state, verdict —
+    // onto the dispatcher track, so a trace shows *why* each resize fired
+    // (or why the scaler held) right next to the resize spans themselves.
+    if (telemetry_ != nullptr && !scaler_->history().empty()) {
+      const ScalerObservation& obs = scaler_->history().back();
+      TraceEvent e;
+      e.type = TraceEventType::kScalerDecision;
+      e.ts_ns = NowNs();
+      e.epoch = epoch_index;
+      e.u0 = obs.num_shards;
+      e.u1 = obs.decision;
+      e.u2 = obs.cooldown_left;
+      e.u3 = obs.cold_streak;
+      e.u4 = obs.max_shard_ops;
+      e.u5 = obs.total_ops;
+      e.f0 = obs.imbalance;
+      e.f1 = obs.max_queue_backlog;
+      e.label = obs.reason;
+      telemetry_->dispatcher_track()->Emit(e);
+    }
     if (target != 0) Reconfigure(target);
   }
   scaler_baseline_.clear();
   for (const auto& shard : shards_) scaler_baseline_.push_back(shard->stats);
+}
+
+// ----- Telemetry plumbing (dispatcher thread, quiescent points) -----
+
+void ShardedRuntime::AppendReconfigEvent(ReconfigEvent e, TraceEventType type,
+                                         std::uint64_t start_ns) {
+  e.sequence = next_reconfig_sequence_++;
+  reconfig_events_.push_back(e);
+  if (telemetry_ != nullptr) {
+    TraceEvent t;
+    t.type = type;
+    t.ts_ns = start_ns;
+    t.dur_ns = e.pause_ns;
+    t.epoch = boundary_epoch_index_;
+    t.u0 = e.from_shards;
+    t.u1 = e.to_shards;
+    t.u2 = e.views_migrated;
+    t.u3 = e.views_pending;
+    t.u4 = e.sequence;
+    telemetry_->dispatcher_track()->Emit(t);
+  }
+}
+
+void ShardedRuntime::WireTelemetryTracks() {
+  if (telemetry_ == nullptr) return;
+  // Tracks are keyed by shard id and never destroyed, so a worker spawned
+  // for a previously retired id continues that id's event history. Workers
+  // read the pointer only after popping a task, so the queue mutex orders
+  // this write against every worker-side use.
+  for (auto& shard : shards_) {
+    shard->telem = telemetry_->shard_track(shard->id);
+  }
+}
+
+void ShardedRuntime::ResetTelemetryBaselines() {
+  if (telemetry_ == nullptr) return;
+  telem_stats_baseline_.clear();
+  telem_view_reads_baseline_.clear();
+  for (auto& shard : shards_) {
+    telem_stats_baseline_.push_back(shard->stats);
+    telem_view_reads_baseline_.push_back(shard->engine->counters().view_reads);
+    if (shard->telem != nullptr) shard->telem->ResetEpochPhases();
+  }
+}
+
+void ShardedRuntime::SampleTelemetryEpoch(std::uint64_t epoch_index,
+                                          SimTime epoch_end) {
+  if (telemetry_ == nullptr) return;
+  // The baselines are rebased after every resize (and at Run start), so in
+  // the steady state they always pair with the live shard set and every
+  // boundary is sampled; the size check is a safety net that skips (rather
+  // than misattributes) a sample if a resize path ever forgot to rebase.
+  if (telem_stats_baseline_.size() == shards_.size()) {
+    std::uint64_t views_pending = 0;
+    if (migration_.has_value()) {
+      views_pending = migration_->ledger->size() - migration_->next;
+    }
+    std::vector<ShardEpochSample> samples;
+    samples.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      ShardEpochSample sample;
+      sample.shard = shard.id;
+      sample.delta = shard.stats.DeltaSince(telem_stats_baseline_[s]);
+      const std::uint64_t view_reads = shard.engine->counters().view_reads;
+      sample.engine_view_reads =
+          view_reads >= telem_view_reads_baseline_[s]
+              ? view_reads - telem_view_reads_baseline_[s]
+              : 0;
+      if (const TelemetryTrack* track = shard.telem; track != nullptr) {
+        sample.compute_ns = track->compute_ns;
+        sample.drain_ns = track->drain_ns;
+        sample.barrier_wait_ns = track->barrier_wait_ns;
+        sample.maintenance_ns = track->maintenance_ns;
+        sample.fabric_full_retries = track->fabric_full_retries;
+        sample.fabric_max_depth = track->fabric_max_depth;
+      }
+      samples.push_back(sample);
+    }
+    telemetry_->SampleEpoch(epoch_index, epoch_end, views_pending, samples);
+  }
+  // Advance the baselines to this boundary and zero the per-epoch phase
+  // accumulators — nothing executes between this call and any resize the
+  // boundary goes on to apply, so resize paths that rebase again see the
+  // identical values (just reshaped to the new shard set).
+  ResetTelemetryBaselines();
 }
 
 core::Engine& ShardedRuntime::shard_engine(std::uint32_t shard) {
@@ -619,6 +772,7 @@ bool ShardedRuntime::TryFlushOutboxes(Shard& shard) {
       out.last_seq = kNoSeq;
     } else {
       all_sent = false;
+      if (shard.telem != nullptr) ++shard.telem->fabric_full_retries;
     }
   }
   return all_sent;
@@ -633,15 +787,22 @@ void ShardedRuntime::FlushForEpoch(Shard& shard) {
   // draining or retrying, the flush converges globally.
   assert(config_.drain == DrainPolicy::kEager &&
          "epoch drain bounds channel occupancy to one batch");
+  // This retry loop is time spent stalled on the barrier protocol (peers
+  // must drain before our sends fit), so it accrues to barrier_wait_ns —
+  // the barrier-assist serves inside are not separate drain_ns (see
+  // docs/observability.md on phase attribution).
+  TelemetryTrack* const telem = shard.telem;
+  const std::uint64_t t0 = telem != nullptr ? NowNs() : 0;
   do {
     EagerPoll(shard, /*ignore_staleness=*/true);
     std::this_thread::yield();
   } while (!TryFlushOutboxes(shard));
+  if (telem != nullptr) telem->barrier_wait_ns += NowNs() - t0;
 }
 
-void ShardedRuntime::ServeBatches(Shard& shard) {
+std::size_t ShardedRuntime::ServeBatches(Shard& shard) {
   auto& batches = shard.drain_batches;
-  if (batches.empty()) return;
+  if (batches.empty()) return 0;
   auto& order = shard.drain_order;
   order.clear();
   for (const WireBatch& batch : batches) {
@@ -674,18 +835,40 @@ void ShardedRuntime::ServeBatches(Shard& shard) {
     shard.remote_latency.Add(now > op.dispatch_ns ? now - op.dispatch_ns : 0);
   }
   batches.clear();
+  return order.size();
 }
 
 void ShardedRuntime::DrainEpoch(Shard& shard) {
+  TelemetryTrack* const telem = shard.telem;
+  const std::uint64_t t0 = telem != nullptr ? NowNs() : 0;
   auto& batches = shard.drain_batches;
   batches.clear();
   for (std::uint32_t src = 0; src < map_.num_shards(); ++src) {
     if (src == shard.id) continue;
+    if (telem != nullptr) {
+      // Producers are quiescent at the boundary, so this is the channel's
+      // exact occupancy — the per-epoch fabric_max_depth gauge.
+      const std::uint64_t depth = fabric_->Depth(src, shard.id);
+      if (depth > telem->fabric_max_depth) telem->fabric_max_depth = depth;
+    }
     while (auto batch = fabric_->TryRecv(src, shard.id)) {
       batches.push_back(std::move(*batch));
     }
   }
-  ServeBatches(shard);
+  const std::size_t batch_count = batches.size();
+  const std::size_t ops = ServeBatches(shard);
+  if (telem != nullptr) {
+    const std::uint64_t now = NowNs();
+    telem->drain_ns += now - t0;
+    TraceEvent e;
+    e.type = TraceEventType::kDrain;
+    e.ts_ns = t0;
+    e.dur_ns = now - t0;
+    e.epoch = shard.stats.epochs;  // this boundary: incremented just after
+    e.u0 = batch_count;
+    e.u1 = ops;
+    telem->Emit(e);
+  }
 }
 
 void ShardedRuntime::EagerPoll(Shard& shard, bool ignore_staleness) {
@@ -711,13 +894,45 @@ void ShardedRuntime::EagerPoll(Shard& shard, bool ignore_staleness) {
   }
   if (batches.empty()) return;
   // Barrier-assist polls (ignore_staleness) run at the epoch boundary; only
-  // genuine staleness-gated mid-epoch serves count as eager drains.
+  // genuine staleness-gated mid-epoch serves count as eager drains — and
+  // only those accrue drain_ns and emit events (barrier-assist time belongs
+  // to the enclosing barrier_wait_ns region, which is already timing it).
+  TelemetryTrack* const telem = shard.telem;
+  const bool timed = telem != nullptr && !ignore_staleness;
+  const std::uint64_t t0 = timed ? NowNs() : 0;
   if (!ignore_staleness) ++shard.stats.eager_drains;
-  ServeBatches(shard);
+  const std::size_t batch_count = batches.size();
+  const std::size_t ops = ServeBatches(shard);
+  if (timed) {
+    const std::uint64_t serve_end = NowNs();
+    telem->drain_ns += serve_end - t0;
+    TraceEvent e;
+    e.type = TraceEventType::kEagerDrain;
+    e.ts_ns = t0;
+    e.dur_ns = serve_end - t0;
+    e.epoch = shard.stats.epochs;
+    e.u0 = batch_count;
+    e.u1 = ops;
+    telem->Emit(e);
+  }
 }
 
 void ShardedRuntime::RunTicks(Shard& shard, std::span<const SimTime> ticks) {
+  if (ticks.empty()) return;
+  TelemetryTrack* const telem = shard.telem;
+  const std::uint64_t t0 = telem != nullptr ? NowNs() : 0;
   for (SimTime t : ticks) shard.engine->Tick(t);
+  if (telem != nullptr) {
+    const std::uint64_t now = NowNs();
+    telem->maintenance_ns += now - t0;
+    TraceEvent e;
+    e.type = TraceEventType::kMaintenance;
+    e.ts_ns = t0;
+    e.dur_ns = now - t0;
+    e.epoch = shard.stats.epochs;
+    e.u0 = ticks.size();
+    telem->Emit(e);
+  }
 }
 
 void ShardedRuntime::WorkerLoop(Shard& shard) {
@@ -725,25 +940,58 @@ void ShardedRuntime::WorkerLoop(Shard& shard) {
   bool awaiting_drain = false;
   while (true) {
     std::optional<Task> task;
-    if (eager && awaiting_drain) {
-      // Cooperative barrier wait: a peer may still be spinning in its
-      // epoch-end flush against a full channel toward us, so a blocking Pop
-      // here would deadlock the gate. Keep serving inbound work until the
-      // drain task arrives.
-      while (!(task = shard.tasks.TryPop()).has_value()) {
-        if (shard.tasks.closed()) return;
-        EagerPoll(shard, /*ignore_staleness=*/true);
-        std::this_thread::yield();
+    if (awaiting_drain) {
+      // Between flush-arrival and the drain task the worker is parked on
+      // the barrier — the wait (and, under kEager, the serves inside it)
+      // accrues to barrier_wait_ns and gets its own span.
+      TelemetryTrack* const telem = shard.telem;
+      const std::uint64_t t0 = telem != nullptr ? NowNs() : 0;
+      if (eager) {
+        // Cooperative barrier wait: a peer may still be spinning in its
+        // epoch-end flush against a full channel toward us, so a blocking
+        // Pop here would deadlock the gate. Keep serving inbound work until
+        // the drain task arrives.
+        while (!(task = shard.tasks.TryPop()).has_value()) {
+          if (shard.tasks.closed()) break;
+          EagerPoll(shard, /*ignore_staleness=*/true);
+          std::this_thread::yield();
+        }
+      } else {
+        task = shard.tasks.Pop();
       }
+      if (telem != nullptr) {
+        const std::uint64_t now = NowNs();
+        telem->barrier_wait_ns += now - t0;
+        TraceEvent e;
+        e.type = TraceEventType::kBarrierWait;
+        e.ts_ns = t0;
+        e.dur_ns = now - t0;
+        e.epoch = shard.stats.epochs;
+        telem->Emit(e);
+      }
+      if (!task.has_value()) return;  // queue closed mid-wait
     } else {
       task = shard.tasks.Pop();
     }
     if (!task || task->kind == Task::Kind::kShutdown) return;
     awaiting_drain = false;
     switch (task->kind) {
-      case Task::Kind::kRequests:
+      case Task::Kind::kRequests: {
+        TelemetryTrack* const telem = shard.telem;
+        const std::uint64_t t0 = telem != nullptr ? NowNs() : 0;
         for (const SeqRequest& sr : task->requests) {
           ExecuteRequest(shard, sr);
+        }
+        if (telem != nullptr) {
+          const std::uint64_t now = NowNs();
+          telem->compute_ns += now - t0;
+          TraceEvent e;
+          e.type = TraceEventType::kBatch;
+          e.ts_ns = t0;
+          e.dur_ns = now - t0;
+          e.epoch = shard.stats.epochs;
+          e.u0 = task->requests.size();
+          telem->Emit(e);
         }
         if (eager) {
           // Ship staged remote work early and serve whatever inbound work
@@ -753,6 +1001,7 @@ void ShardedRuntime::WorkerLoop(Shard& shard) {
           EagerPoll(shard, /*ignore_staleness=*/false);
         }
         break;
+      }
       case Task::Kind::kEndEpoch:
         FlushForEpoch(shard);
         gate_.Arrive();
@@ -866,8 +1115,24 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       shards_[s]->tasks.Push(std::move(task));
       staging[s] = {};
     } else {
+      // Inline fallback: the dispatcher thread is the single writer of
+      // every shard's accumulators and track, so the same instrumentation
+      // applies — compute time per batch, with eager serves self-timed.
+      TelemetryTrack* const telem = shards_[s]->telem;
+      const std::uint64_t t0 = telem != nullptr ? NowNs() : 0;
       for (const SeqRequest& sr : staging[s]) {
         ExecuteRequest(*shards_[s], sr);
+      }
+      if (telem != nullptr) {
+        const std::uint64_t now = NowNs();
+        telem->compute_ns += now - t0;
+        TraceEvent e;
+        e.type = TraceEventType::kBatch;
+        e.ts_ns = t0;
+        e.dur_ns = now - t0;
+        e.epoch = shards_[s]->stats.epochs;
+        e.u0 = staging[s].size();
+        telem->Emit(e);
       }
       staging[s].clear();
       if (eager) {
@@ -876,6 +1141,12 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       }
     }
   };
+
+  // Baselines for the per-epoch metric deltas: each run samples activity
+  // relative to where its shards started (a reused runtime's cumulative
+  // stats are nonzero). Also zeroes any stale phase accumulators.
+  ResetTelemetryBaselines();
+  std::uint64_t epoch_start_ns = telemetry_ != nullptr ? NowNs() : 0;
 
   for (SimTime epoch_end = epoch;; epoch_end += epoch) {
     while (i < requests.size() && requests[i].time < epoch_end) {
@@ -944,6 +1215,22 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       backlog_batches[s] = 0;
       backlog_sum[s] = 0;
     }
+    // Sample the epoch *before* the hook/scaler/migration below can resize
+    // the shard set, so a shard retired at this boundary still contributes
+    // its final epoch's row; boundary_epoch_index_ lets the resize spans
+    // emitted below carry this boundary's index.
+    boundary_epoch_index_ = epoch_index;
+    if (telemetry_ != nullptr) {
+      const std::uint64_t now = NowNs();
+      TraceEvent e;
+      e.type = TraceEventType::kEpoch;
+      e.ts_ns = epoch_start_ns;
+      e.dur_ns = now - epoch_start_ns;
+      e.epoch = epoch_index;
+      e.u0 = n;
+      telemetry_->dispatcher_track()->Emit(e);
+      SampleTelemetryEpoch(epoch_index, epoch_end);
+    }
     if (epoch_hook_) epoch_hook_(epoch_end, epoch_index);
     ObserveEpochForScaler(epoch_index);
     ++epoch_index;
@@ -963,13 +1250,18 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       staging.resize(n);  // all staged batches were flushed pre-boundary
       backlog_sum.resize(n);  // and the queue samples folded above
       backlog_batches.resize(n);
+      // Reshape the sampling baselines to the (possibly) new shard set —
+      // nothing ran since the sample above, so no activity is lost.
+      ResetTelemetryBaselines();
     } else if (pending != 0 && pending != n) {
       BeginReconfigure(pending, threaded, epoch_end);
       n = map_.num_shards();
       staging.resize(n);
       backlog_sum.resize(n);
       backlog_batches.resize(n);
+      ResetTelemetryBaselines();
     }
+    if (telemetry_ != nullptr) epoch_start_ns = NowNs();
 
     // An open migration window keeps the epoch loop alive past the log so
     // its remaining batches ride real boundaries (the ledger shrinks every
@@ -1034,6 +1326,10 @@ RuntimeResult ShardedRuntime::MergeResults(double wall_seconds) const {
   if (wall_seconds > 0) {
     result.ops_per_sec =
         static_cast<double>(result.totals.requests) / wall_seconds;
+  }
+  if (telemetry_ != nullptr) {
+    result.telemetry =
+        std::make_shared<TelemetrySnapshot>(telemetry_->Snapshot());
   }
   return result;
 }

@@ -87,6 +87,16 @@ namespace dynasore::rt {
 
 class AutoScaler;  // auto_scaler.h — the closed-loop reconfiguration policy
 
+// telemetry.h — the observability layer (metrics + event trace). Owned by
+// the runtime when TelemetryConfig::enabled; null otherwise, so every
+// instrumentation site is a branch on a pointer and the disabled hot path
+// pays no clock reads. TraceEventType's fixed underlying type lets the
+// dispatcher-side helpers name event kinds without pulling the header in.
+class Telemetry;
+class TelemetryTrack;
+struct TelemetrySnapshot;
+enum class TraceEventType : std::uint8_t;
+
 // Per-shard accumulators kept off the shared hot path; merged on demand.
 //
 // Ownership and thread-safety: each shard's ShardStats has exactly one
@@ -195,6 +205,12 @@ LatencyPercentiles SummarizeLatency(const common::LatencyHistogram& h);
 // Written by the dispatcher thread at quiescent points only; a run's result
 // copies the accumulated list, so events are plain values thereafter.
 struct ReconfigEvent {
+  // Monotonically increasing id over the runtime's lifetime, stamped when
+  // the event is recorded (0, 1, 2, ...). Because results re-report earlier
+  // events, this is how consumers slice: events of run N+1 alone are those
+  // with sequence > the largest sequence in run N's result — no fragile
+  // diffing of event *counts* between results.
+  std::uint64_t sequence = 0;
   SimTime epoch_end = 0;  // boundary it fired at; 0 when applied between runs
   std::uint32_t from_shards = 0;
   std::uint32_t to_shards = 0;
@@ -219,8 +235,9 @@ struct RuntimeResult {
   // Applied shard-count changes, in order, accumulated over the runtime's
   // lifetime: a run's result also re-reports changes applied before it
   // (between-runs events carry epoch_end 0). Empty iff this runtime never
-  // reconfigured; to detect a resize within one run, diff against the
-  // previous result's event count.
+  // reconfigured. Each event carries a lifetime-monotone `sequence` id; to
+  // isolate one run's resizes, keep the events whose sequence exceeds the
+  // largest sequence in the previous result (see ReconfigEvent).
   std::vector<ReconfigEvent> reconfig_events;
   // Merged per-tier message totals across shard engines (net::Tier index).
   std::array<std::uint64_t, net::kNumTiers> traffic_app{};
@@ -240,6 +257,12 @@ struct RuntimeResult {
   std::uint64_t expected_requests = 0;  // size of the replayed log
   double wall_seconds = 0;
   double ops_per_sec = 0;  // requests / wall_seconds
+
+  // Snapshot of the run's telemetry (per-epoch metric series + event
+  // trace), or null when RuntimeConfig::telemetry.enabled is false. Shared
+  // because snapshots can be large and results are copied around freely;
+  // the pointee is immutable. Include runtime/telemetry.h to use it.
+  std::shared_ptr<const TelemetrySnapshot> telemetry;
 };
 
 class ShardedRuntime {
@@ -368,6 +391,12 @@ class ShardedRuntime {
     BoundedQueue<Task> tasks;
     std::vector<Outbox> outbox;  // staged per destination
     ShardStats stats;
+    // This shard's telemetry track, or null when telemetry is disabled —
+    // the hot path's only telemetry cost is this branch. Single-writer by
+    // the worker, like stats; (re)wired by WireTelemetryTracks at quiescent
+    // points. A shard id retired and later respawned reuses its track, so
+    // traces survive reconfiguration.
+    TelemetryTrack* telem = nullptr;
     common::LatencyHistogram request_latency;  // single-writer: this shard
     common::LatencyHistogram remote_latency;
     std::thread worker;
@@ -454,8 +483,37 @@ class ShardedRuntime {
   void CompleteMigration();
 
   // Feeds the auto-scaler one epoch's per-shard deltas and forwards its
-  // decision to Reconfigure. Dispatcher thread, quiescent point only.
+  // decision to Reconfigure; when telemetry is on, also emits the decision
+  // (with its trigger inputs) as a kScalerDecision trace event. Dispatcher
+  // thread, quiescent point only.
   void ObserveEpochForScaler(std::uint64_t epoch_index);
+
+  // ----- Telemetry plumbing (all dispatcher thread, quiescent points;
+  // no-ops when telemetry_ is null) -----
+
+  // Stamps the lifetime-monotone sequence id, records the event, and — with
+  // telemetry on — mirrors it onto the dispatcher track as a trace span of
+  // `type` starting at `start_ns`.
+  void AppendReconfigEvent(ReconfigEvent e, TraceEventType type,
+                           std::uint64_t start_ns);
+  // Emits the kCompleteMigration instant; called by CompleteMigration's
+  // callers *after* their step/begin event so the dispatcher track stays
+  // chronological (the step span's ts predates the completion stamp).
+  void EmitMigrationComplete(std::uint32_t from_shards,
+                             std::uint32_t to_shards);
+  // Points every live shard at its telemetry track (tracks are created on
+  // first use and keyed by shard id, so respawned ids reconnect to their
+  // history).
+  void WireTelemetryTracks();
+  // Rebases the per-shard sampling baselines on the current cumulative
+  // stats — at Run start and after any mid-run resize, mirroring
+  // scaler_baseline_'s lifecycle.
+  void ResetTelemetryBaselines();
+  // Samples one boundary into the metric series: per-shard ShardStats and
+  // engine-counter deltas plus the tracks' epoch-phase accumulators (which
+  // it resets). Must run *before* the boundary's migration step or
+  // reconfiguration so a retiring shard's final epoch is captured.
+  void SampleTelemetryEpoch(std::uint64_t epoch_index, SimTime epoch_end);
 
   void WorkerLoop(Shard& shard);
   void ExecuteRequest(Shard& shard, const SeqRequest& sr);
@@ -473,8 +531,9 @@ class ShardedRuntime {
   // kEager: serves inbound batches whose oldest op exceeds the staleness
   // bound (or everything, when ignore_staleness is set by FlushForEpoch).
   void EagerPoll(Shard& shard, bool ignore_staleness);
-  // Applies a set of received batches in global sequence order.
-  void ServeBatches(Shard& shard);
+  // Applies a set of received batches in global sequence order; returns the
+  // ops served (telemetry's drain-event payload).
+  std::size_t ServeBatches(Shard& shard);
   void RunTicks(Shard& shard, std::span<const SimTime> ticks);
 
   RuntimeResult MergeResults(double wall_seconds) const;
@@ -515,6 +574,20 @@ class ShardedRuntime {
   // shard set changed size since.
   std::unique_ptr<AutoScaler> scaler_;
   std::vector<ShardStats> scaler_baseline_;
+
+  // Observability layer (null unless telemetry.enabled — every hot-path
+  // site branches on the per-shard track pointer instead). The baselines
+  // mirror scaler_baseline_ but are indexed by live-shard position and
+  // additionally snapshot each engine's view_reads counter; both are
+  // rebased by ResetTelemetryBaselines. next_reconfig_sequence_ stamps
+  // ReconfigEvent::sequence; boundary_epoch_index_ is the index of the
+  // boundary currently being processed, so dispatcher-side reconfig events
+  // carry the right epoch even though they fire after sampling.
+  std::unique_ptr<Telemetry> telemetry_;
+  std::vector<ShardStats> telem_stats_baseline_;
+  std::vector<std::uint64_t> telem_view_reads_baseline_;
+  std::uint64_t next_reconfig_sequence_ = 0;
+  std::uint64_t boundary_epoch_index_ = 0;
 };
 
 }  // namespace dynasore::rt

@@ -74,6 +74,15 @@ class SpscRing {
     return &slots_[head & mask_];
   }
 
+  // Consumer only: batches currently queued. The producer may push
+  // concurrently, so this is a lower bound at the instant of the call; at
+  // the runtime's quiescent points (producers parked) it is exact — which
+  // is when telemetry samples channel depth.
+  std::size_t Size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_relaxed);
+  }
+
   std::size_t capacity() const { return mask_ + 1; }
 
  private:

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common/latency_histogram.h"
@@ -390,6 +392,83 @@ TEST(LatencyHistogramTest, MergeWithEmptySides) {
   empty.Merge(filled);
   EXPECT_EQ(empty.count(), 1u);
   EXPECT_EQ(empty.Percentile(0.5), filled.Percentile(0.5));
+}
+
+TEST(LatencyHistogramTest, BucketLowerMapsBackIntoItsBucket) {
+  // The bucket-iteration API's contract: a bucket's lower bound is a member
+  // of that bucket, and lower bounds ascend with the index. This is what
+  // makes the CSV export re-loadable without shifting mass between buckets.
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const std::uint64_t lower = LatencyHistogram::BucketLower(i);
+    ASSERT_EQ(LatencyHistogram::BucketOf(lower), i) << "bucket " << i;
+    ASSERT_LE(lower, LatencyHistogram::BucketUpper(i));
+    if (i > 0) {
+      ASSERT_GT(lower, previous) << "bucket " << i;
+    }
+    previous = lower;
+  }
+}
+
+TEST(LatencyHistogramTest, ToCsvRoundTripsBucketCounts) {
+  LatencyHistogram h;
+  // Exact range, several octaves, repeated values, and a huge outlier.
+  const std::uint64_t values[] = {0,    1,      7,       8,      9,
+                                  100,  100,    1023,    1024,   90000,
+                                  12345678, 987654321012ull};
+  for (const std::uint64_t v : values) h.Add(v);
+
+  // VisitBuckets walks non-empty buckets ascending and conserves the count.
+  std::size_t non_empty = 0;
+  std::uint64_t visited = 0;
+  std::uint64_t last_lower = 0;
+  bool first = true;
+  h.VisitBuckets([&](std::uint64_t lower, std::uint64_t count) {
+    EXPECT_GT(count, 0u);
+    if (!first) {
+      EXPECT_GT(lower, last_lower);
+    }
+    first = false;
+    last_lower = lower;
+    visited += count;
+    ++non_empty;
+  });
+  EXPECT_EQ(visited, h.count());
+
+  // Parse the CSV and re-Add each row's lower bound `count` times: the
+  // rebuilt histogram holds identical bucket counts (sum/max are lossy —
+  // they collapse to bucket lower bounds — but the distribution is not).
+  const std::string csv = h.ToCsv();
+  ASSERT_EQ(csv.rfind("bucket_lower_ns,count\n", 0), 0u);
+  LatencyHistogram rebuilt;
+  std::size_t pos = csv.find('\n') + 1;
+  std::size_t rows = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::size_t eol = csv.find('\n', pos);
+    ASSERT_NE(comma, std::string::npos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::uint64_t lower =
+        std::stoull(csv.substr(pos, comma - pos));
+    const std::uint64_t count =
+        std::stoull(csv.substr(comma + 1, eol - comma - 1));
+    for (std::uint64_t k = 0; k < count; ++k) rebuilt.Add(lower);
+    pos = eol + 1;
+    ++rows;
+  }
+  EXPECT_EQ(rows, non_empty);  // one CSV row per non-empty bucket
+  EXPECT_EQ(rebuilt.count(), h.count());
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(rebuilt.bucket_count(i), h.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(rebuilt.Percentile(0.5), h.Percentile(0.5));
+  // The top percentile is clamped to the (lossy) max, so it only agrees at
+  // bucket granularity.
+  EXPECT_EQ(LatencyHistogram::BucketOf(rebuilt.Percentile(0.99)),
+            LatencyHistogram::BucketOf(h.Percentile(0.99)));
+
+  // An empty histogram exports just the header.
+  EXPECT_EQ(LatencyHistogram().ToCsv(), "bucket_lower_ns,count\n");
 }
 
 }  // namespace
