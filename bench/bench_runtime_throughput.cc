@@ -17,10 +17,21 @@
 // epoch drain hides). Each configuration runs with the persistent store's
 // payload mode off and on, measuring the replicated-write coherence path.
 //
+// A third section ("tuned16") runs the high-shard-count showdown: the
+// pre-PR default configuration (queue_depth=64, batch_size=128, single-op
+// drains, unpinned) against the tuned fast path (the committed swept
+// defaults, batched drains, pinned + first-touched workers) at 16 shards,
+// both spsc+epoch. Both runs must conserve every request (the verdict is
+// the process exit code); the tuned run is the one results/ commits.
+//
 // Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME --smoke
 // --csv-dir=PATH --trace=PATH --timeseries=PATH (telemetry export from the
-// spsc+epoch payload-off fabric-comparison run). Extra environment knob:
-// RUNTIME_MAX_SHARDS caps the sweep.
+// spsc+epoch payload-off fabric-comparison run) --shards=A,B,C (replaces
+// the power-of-two sweep) --queue-depth=N --batch-size=N --pin
+// --batched=0|1 --drain=epoch|eager (RuntimeConfig overrides) and --tune
+// (run one configuration, print one parsable "TUNE,..." line — the
+// scripts/tune_runtime.py contract). Extra environment knob:
+// RUNTIME_MAX_SHARDS caps the default sweep.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -46,10 +57,12 @@ namespace {
 // speedup relative to the 1-shard run of the same sweep, "fabric4" rows
 // relative to the mutex+epoch baseline at the same shard count.
 constexpr char kCsvHeader[] =
-    "section,workload,mode,payload,transport,drain,shards,ops_per_sec,"
-    "speedup,p50_us,p99_us,p999_us,fresh_p99_us\n";
+    "section,workload,mode,payload,transport,drain,shards,queue_depth,"
+    "batch_size,pinned,batched,ops_per_sec,speedup,p50_us,p99_us,p999_us,"
+    "fresh_p99_us\n";
 
-std::vector<std::uint32_t> ShardSweep() {
+std::vector<std::uint32_t> ShardSweep(const BenchArgs& args) {
+  if (!args.shards.empty()) return args.shards;
   std::uint32_t max_shards =
       std::max(4u, std::thread::hardware_concurrency());
   if (const char* cap = std::getenv("RUNTIME_MAX_SHARDS")) {
@@ -61,6 +74,20 @@ std::vector<std::uint32_t> ShardSweep() {
     sweep.push_back(max_shards);
   }
   return sweep;
+}
+
+// Applies the command-line RuntimeConfig overrides (zero / -1 / empty mean
+// "keep the config's value") — the knobs scripts/tune_runtime.py sweeps.
+void ApplyTuningFlags(const BenchArgs& args, rt::RuntimeConfig* rt_config) {
+  if (args.queue_depth != 0) rt_config->queue_depth = args.queue_depth;
+  if (args.batch_size != 0) rt_config->batch_size = args.batch_size;
+  if (args.batched != -1) rt_config->batched_drain = args.batched == 1;
+  if (args.pin) {
+    rt_config->placement.pin_threads = true;
+    rt_config->placement.first_touch = true;
+  }
+  if (args.drain == "eager") rt_config->drain = rt::DrainPolicy::kEager;
+  if (args.drain == "epoch") rt_config->drain = rt::DrainPolicy::kEpoch;
 }
 
 const char* TransportName(rt::FabricTransport t) {
@@ -77,12 +104,17 @@ struct RunRow {
   bool payload = false;
   rt::FabricTransport transport = rt::FabricTransport::kSpsc;
   rt::DrainPolicy drain = rt::DrainPolicy::kEpoch;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t batch_size = 0;
+  bool pinned = false;
+  bool batched = false;
   double ops_per_sec = 0;
   double speedup = 1.0;
   double balance = 1.0;
   std::uint64_t messages = 0;
   rt::LatencyPercentiles completion;
-  double fresh_p99_us = 0;  // p99 of remotely served slices
+  double fresh_p99_us = 0;   // p99 of remotely served slices
+  bool conserved = false;    // every dispatched request executed exactly once
 };
 
 struct WorkloadCase {
@@ -130,10 +162,15 @@ RunRow RunOnce(const WorkloadCase& wc, const rt::RuntimeConfig& rt_config,
   row.payload = wc.payload;
   row.transport = rt_config.transport;
   row.drain = rt_config.drain;
+  row.queue_depth = rt_config.queue_depth;
+  row.batch_size = rt_config.batch_size;
+  row.pinned = rt_config.placement.pin_threads;
+  row.batched = rt_config.batched_drain;
   row.ops_per_sec = result.ops_per_sec;
   row.messages = result.totals.messages_sent;
   row.completion = result.completion_percentiles;
   row.fresh_p99_us = rt::SummarizeLatency(result.remote_latency).p99_us;
+  row.conserved = result.totals.requests == result.expected_requests;
   return row;
 }
 
@@ -145,6 +182,10 @@ void AppendCsv(const char* section, const char* workload, const char* mode,
   csv->append(TransportName(row.transport)).append(",");
   csv->append(DrainName(row.drain)).append(",");
   csv->append(std::to_string(row.shards)).append(",");
+  csv->append(std::to_string(row.queue_depth)).append(",");
+  csv->append(std::to_string(row.batch_size)).append(",");
+  csv->append(row.pinned ? "1" : "0").append(",");
+  csv->append(row.batched ? "1" : "0").append(",");
   csv->append(common::TablePrinter::Fmt(row.ops_per_sec, 1)).append(",");
   csv->append(common::TablePrinter::Fmt(row.speedup, 3)).append(",");
   csv->append(common::TablePrinter::Fmt(row.completion.p50_us, 1)).append(",");
@@ -179,6 +220,7 @@ std::vector<RunRow> RunSweep(WorkloadCase wc,
   for (std::uint32_t shards : sweep) {
     rt::RuntimeConfig rt_config;
     rt_config.num_shards = shards;
+    ApplyTuningFlags(*wc.args, &rt_config);
     double balance = 1.0;
     RunRow row = RunOnce(wc, rt_config, &balance);
     row.balance = balance;
@@ -241,12 +283,100 @@ void RunFabricComparison(WorkloadCase wc, std::uint32_t shards,
   table.Print();
 }
 
+// --tune: one configuration, one machine-readable line. The line is the
+// contract scripts/tune_runtime.py parses:
+//   TUNE,shards,queue_depth,batch_size,drain,pinned,batched,ops_per_sec,
+//   p50_us,p99_us,conserved
+// Exit code reflects the conservation verdict so the harness can reject a
+// configuration that lost work outright.
+int RunTuneMode(const WorkloadCase& wc, const BenchArgs& args) {
+  rt::RuntimeConfig rt_config;
+  rt_config.num_shards = args.shards.empty() ? 16 : args.shards.front();
+  ApplyTuningFlags(args, &rt_config);
+  const RunRow row = RunOnce(wc, rt_config);
+  std::printf("TUNE,%u,%u,%u,%s,%d,%d,%.1f,%.1f,%.1f,%d\n", row.shards,
+              row.queue_depth, row.batch_size, DrainName(row.drain),
+              row.pinned ? 1 : 0, row.batched ? 1 : 0, row.ops_per_sec,
+              row.completion.p50_us, row.completion.p99_us,
+              row.conserved ? 1 : 0);
+  return row.conserved ? 0 : 1;
+}
+
+// The high-shard-count showdown: pre-PR defaults (queue_depth=64,
+// batch_size=128, single-op drains, unpinned) vs the tuned fast path (the
+// committed swept defaults, batched drains, pinned + first-touched
+// workers), both spsc+epoch so results are bit-comparable. Returns false
+// when either run failed conservation.
+bool RunTunedComparison(WorkloadCase wc, std::uint32_t shards,
+                        std::string* csv) {
+  rt::RuntimeConfig before;  // the pre-PR configuration, frozen
+  before.num_shards = shards;
+  before.queue_depth = 64;
+  before.batch_size = 128;
+  before.batched_drain = false;
+
+  rt::RuntimeConfig tuned;  // today's committed defaults + placement
+  tuned.num_shards = shards;
+  tuned.placement.pin_threads = true;
+  tuned.placement.first_touch = true;
+
+  std::printf("-- tuned defaults vs pre-PR defaults: %u shards, synthetic "
+              "workload, static engine --\n", shards);
+  common::TablePrinter table({"config", "qd", "batch", "pin", "batched",
+                              "ops/sec", "speedup", "p50_us", "p99_us",
+                              "conserved"});
+  bool all_conserved = true;
+  double baseline = 0;
+  for (const auto& [label, rt_config] :
+       {std::pair<const char*, rt::RuntimeConfig>{"pre-PR default", before},
+        {"tuned", tuned}}) {
+    // Median-ops of three runs: a single run on an oversubscribed host can
+    // swing ±10% on scheduler luck; the comparison should not.
+    std::vector<RunRow> trials;
+    for (int t = 0; t < 3; ++t) trials.push_back(RunOnce(wc, rt_config));
+    std::sort(trials.begin(), trials.end(),
+              [](const RunRow& a, const RunRow& b) {
+                return a.ops_per_sec < b.ops_per_sec;
+              });
+    RunRow row = trials[1];
+    row.conserved =
+        trials[0].conserved && trials[1].conserved && trials[2].conserved;
+    row.label = label;
+    if (baseline == 0) baseline = row.ops_per_sec;
+    row.speedup = baseline > 0 ? row.ops_per_sec / baseline : 1.0;
+    all_conserved = all_conserved && row.conserved;
+    table.AddRow({row.label, std::to_string(row.queue_depth),
+                  std::to_string(row.batch_size), row.pinned ? "on" : "off",
+                  row.batched ? "on" : "off",
+                  common::TablePrinter::Fmt(row.ops_per_sec, 0),
+                  common::TablePrinter::Fmt(row.speedup, 2),
+                  common::TablePrinter::Fmt(row.completion.p50_us, 1),
+                  common::TablePrinter::Fmt(row.completion.p99_us, 1),
+                  row.conserved ? "yes" : "NO"});
+    AppendCsv("tuned16", "synthetic", "static", row, csv);
+  }
+  table.Print();
+  if (!all_conserved) {
+    std::fprintf(stderr, "CONSERVATION FAILED: a run lost or duplicated "
+                         "requests\n");
+  }
+  return all_conserved;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchArgs args = bench::ParseArgs(argc, argv);
   bench::ApplySmoke(args);
-  const std::vector<std::uint32_t> sweep = ShardSweep();
+  const std::vector<std::uint32_t> sweep = ShardSweep(args);
+  if (args.tune) {
+    // One configuration, one parsable line, no sweeps: the harness mode.
+    const auto g = bench::MakeGraph(args.graph, args);
+    const auto log = bench::MakeSyntheticLog(g, args);
+    const WorkloadCase wc{&g, &log, {}, /*adaptive=*/false,
+                          /*payload=*/false, nullptr, &args};
+    return RunTuneMode(wc, args);
+  }
   const unsigned hc = std::thread::hardware_concurrency();
   std::printf("== Runtime throughput: shard sweep 1..%u "
               "(hardware_concurrency=%u, scale=%g, days=%g) ==\n",
@@ -295,7 +425,11 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   RunFabricComparison(sweep_case({}, false), /*shards=*/4, &csv);
+  std::printf("\n");
+
+  const bool conserved =
+      RunTunedComparison(sweep_case({}, false), /*shards=*/16, &csv);
 
   bench::SaveCsv(args, "runtime_throughput", csv);
-  return 0;
+  return conserved ? 0 : 1;
 }

@@ -49,6 +49,33 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.all_graphs = true;
     } else if (arg == "--smoke") {
       args.smoke = true;
+    } else if (arg == "--pin") {
+      args.pin = true;
+    } else if (arg == "--tune") {
+      args.tune = true;
+    } else if (ConsumeFlag(arg, "--queue-depth=", value)) {
+      args.queue_depth =
+          static_cast<std::uint32_t>(std::atoi(std::string(value).c_str()));
+    } else if (ConsumeFlag(arg, "--batch-size=", value)) {
+      args.batch_size =
+          static_cast<std::uint32_t>(std::atoi(std::string(value).c_str()));
+    } else if (ConsumeFlag(arg, "--batched=", value)) {
+      args.batched = std::atoi(std::string(value).c_str()) != 0 ? 1 : 0;
+    } else if (ConsumeFlag(arg, "--drain=", value)) {
+      args.drain = std::string(value);
+    } else if (ConsumeFlag(arg, "--shards=", value)) {
+      args.shards.clear();
+      std::string buffer(value);
+      std::size_t start = 0;
+      while (start <= buffer.size()) {
+        std::size_t comma = buffer.find(',', start);
+        if (comma == std::string::npos) comma = buffer.size();
+        if (comma > start) {
+          const int n = std::atoi(buffer.substr(start, comma - start).c_str());
+          if (n > 0) args.shards.push_back(static_cast<std::uint32_t>(n));
+        }
+        start = comma + 1;
+      }
     } else if (ConsumeFlag(arg, "--points=", value)) {
       args.extra_points.clear();
       std::string buffer(value);

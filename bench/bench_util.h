@@ -38,12 +38,28 @@ struct BenchArgs {
   // SaveRunTelemetry writes the Chrome trace JSON / per-epoch CSV there.
   std::string trace_path;
   std::string timeseries_path;
+
+  // Runtime tuning knobs (bench_runtime_throughput). --shards=A,B,C
+  // replaces the default power-of-two shard sweep; the remaining flags
+  // override the corresponding RuntimeConfig fields wherever the bench
+  // honors them (0 / -1 / empty mean "keep the config's default").
+  std::vector<std::uint32_t> shards;
+  std::uint32_t queue_depth = 0;   // --queue-depth=N
+  std::uint32_t batch_size = 0;    // --batch-size=N
+  bool pin = false;                // --pin: pin_threads + first_touch
+  int batched = -1;                // --batched=0|1: batched_drain
+  std::string drain;               // --drain=epoch|eager
+  // --tune: run exactly one configuration (the first --shards entry) and
+  // print one machine-readable "TUNE,..." line — the contract
+  // scripts/tune_runtime.py drives sweeps through.
+  bool tune = false;
 };
 
 // Recognized flags: --scale=F --days=F --seed=N --graph=NAME --trials=N
 // --points=A,B,C --all-graphs --smoke --csv-dir=PATH --trace=PATH
-// --timeseries=PATH. Environment variable REPRO_SCALE overrides --scale
-// when set.
+// --timeseries=PATH --shards=A,B,C --queue-depth=N --batch-size=N --pin
+// --batched=0|1 --drain=epoch|eager --tune. Environment variable
+// REPRO_SCALE overrides --scale when set.
 BenchArgs ParseArgs(int argc, char** argv);
 
 // Applies the shared smoke caps (scale <= 0.001, days <= 0.5) when

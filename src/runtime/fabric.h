@@ -25,9 +25,11 @@
 // the boundary drain guarantees.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -68,9 +70,26 @@ class Fabric {
   virtual bool TrySend(std::uint32_t src, std::uint32_t dst,
                        WireBatch& batch) = 0;
 
+  // Producer side, batched: moves as many leading elements of `batches` as
+  // currently fit onto the channel under one synchronized publish (one
+  // release fence on the SPSC transport, one lock acquisition on the mutex
+  // transport) and returns the number sent. The unsent suffix is left
+  // intact for retry.
+  virtual std::size_t TrySendBatch(std::uint32_t src, std::uint32_t dst,
+                                   std::span<WireBatch> batches) = 0;
+
   // Consumer side: only shard `dst` may receive on (*, dst) channels.
   virtual std::optional<WireBatch> TryRecv(std::uint32_t src,
                                            std::uint32_t dst) = 0;
+
+  // Consumer side, batched: appends up to `max` queued batches to `out`
+  // under one synchronized claim (one acquire/release pair on the SPSC
+  // transport, one lock acquisition on the mutex transport) and returns the
+  // number drained. The runtime's epoch-boundary drain empties a whole
+  // channel with a single call instead of one TryRecv per batch.
+  virtual std::size_t DrainChannel(std::uint32_t src, std::uint32_t dst,
+                                   std::vector<WireBatch>& out,
+                                   std::size_t max) = 0;
 
   // Consumer side: dispatch stamp of the oldest undelivered op on the
   // channel, or 0 when it is empty. Gates the eager drain's staleness test
@@ -83,6 +102,15 @@ class Fabric {
   // bound at the instant of the call; exact whenever the producer is
   // quiescent (epoch-boundary drains, where the runtime samples it).
   virtual std::uint32_t Depth(std::uint32_t src, std::uint32_t dst) = 0;
+
+  // Consumer side: touches the consumer-facing storage of every (*, dst)
+  // channel from the calling thread so the pages fault (and, under
+  // first-touch NUMA policies, land) on the destination worker's node.
+  // Only safe while every channel into dst is empty and all producers are
+  // quiescent — the runtime's placement phase. Default no-op: the mutex
+  // transport's deques allocate lazily on push, so there is nothing to
+  // touch up front.
+  virtual void PrefaultInbound(std::uint32_t dst) { (void)dst; }
 
   // The shard count this fabric was built for — immutable for the fabric's
   // lifetime (see the reconfiguration note above).

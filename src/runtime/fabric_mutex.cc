@@ -1,11 +1,14 @@
 // Mutex transport: one lock-guarded deque per (source, destination) pair.
 // The fallback (and reference) implementation of the fabric interface — the
 // SPSC transport must match it bit-for-bit under the epoch drain policy.
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -30,6 +33,19 @@ class MutexFabric final : public Fabric {
     return true;
   }
 
+  std::size_t TrySendBatch(std::uint32_t src, std::uint32_t dst,
+                           std::span<WireBatch> batches) override {
+    Channel& ch = at(src, dst);
+    std::lock_guard lock(ch.mutex);
+    const std::size_t free =
+        capacity_ - std::min(capacity_, ch.batches.size());
+    const std::size_t n = std::min(batches.size(), free);
+    for (std::size_t i = 0; i < n; ++i) {
+      ch.batches.push_back(std::move(batches[i]));
+    }
+    return n;
+  }
+
   std::optional<WireBatch> TryRecv(std::uint32_t src,
                                    std::uint32_t dst) override {
     Channel& ch = at(src, dst);
@@ -38,6 +54,19 @@ class MutexFabric final : public Fabric {
     WireBatch batch = std::move(ch.batches.front());
     ch.batches.pop_front();
     return batch;
+  }
+
+  std::size_t DrainChannel(std::uint32_t src, std::uint32_t dst,
+                           std::vector<WireBatch>& out,
+                           std::size_t max) override {
+    Channel& ch = at(src, dst);
+    std::lock_guard lock(ch.mutex);
+    const std::size_t n = std::min(max, ch.batches.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(ch.batches.front()));
+      ch.batches.pop_front();
+    }
+    return n;
   }
 
   std::uint64_t OldestDispatchNs(std::uint32_t src,

@@ -2,9 +2,11 @@
 // channel has exactly one producer (the source shard's worker) and one
 // consumer (the destination shard's worker), which is the SPSC contract;
 // the dispatcher never touches the fabric.
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "runtime/fabric.h"
@@ -29,9 +31,20 @@ class SpscFabric final : public Fabric {
     return at(src, dst).TryPush(batch);
   }
 
+  std::size_t TrySendBatch(std::uint32_t src, std::uint32_t dst,
+                           std::span<WireBatch> batches) override {
+    return at(src, dst).TryPushBatch(batches);
+  }
+
   std::optional<WireBatch> TryRecv(std::uint32_t src,
                                    std::uint32_t dst) override {
     return at(src, dst).TryPop();
+  }
+
+  std::size_t DrainChannel(std::uint32_t src, std::uint32_t dst,
+                           std::vector<WireBatch>& out,
+                           std::size_t max) override {
+    return at(src, dst).ConsumeInto(out, max);
   }
 
   std::uint64_t OldestDispatchNs(std::uint32_t src,
@@ -42,6 +55,12 @@ class SpscFabric final : public Fabric {
 
   std::uint32_t Depth(std::uint32_t src, std::uint32_t dst) override {
     return static_cast<std::uint32_t>(at(src, dst).Size());
+  }
+
+  void PrefaultInbound(std::uint32_t dst) override {
+    for (std::uint32_t src = 0; src < num_shards_; ++src) {
+      at(src, dst).Prefault();
+    }
   }
 
   std::uint32_t num_shards() const override { return num_shards_; }

@@ -152,6 +152,58 @@ struct TelemetryConfig {
   }
 };
 
+// CPU/NUMA-aware worker placement. Off by default: the OS scheduler places
+// worker threads freely, exactly as before this config existed. When
+// enabled, each spawned worker pins itself to a CPU and (optionally)
+// first-touches its hot memory from that CPU before the first request is
+// dispatched, so pages land on the pinned core's NUMA node. Placement is
+// strictly best-effort: on machines/containers where affinity calls fail
+// or the CPU set is smaller than the shard count, the runtime records the
+// failure in telemetry (a kPlacement trace event per worker) and carries on
+// unpinned — results are bit-identical with placement on or off under
+// kEpoch, so the fallback is always safe.
+struct PlacementConfig {
+  // Pin worker s to CPU (cpu_offset + s * cpu_stride) % num_cpus via
+  // pthread_setaffinity_np on the worker thread itself, before it executes
+  // any task. The inline fallback (spawn_threads = false) ignores pinning —
+  // there are no worker threads to pin.
+  bool pin_threads = false;
+
+  // First CPU of the placement pattern. Valid range: any (wrapped by
+  // num_cpus at use).
+  std::uint32_t cpu_offset = 0;
+
+  // CPU distance between consecutive shards — 1 packs shards onto adjacent
+  // CPUs, 2 skips SMT siblings on hyperthreaded layouts. Valid range: >= 1
+  // (see Validate; a stride of 0 would pin every worker to the same CPU).
+  std::uint32_t cpu_stride = 1;
+
+  // After pinning, each worker touches the consumer side of its inbound
+  // fabric channels and pre-faults its drain/scratch buffers from the
+  // pinned CPU, and — on the first run only, while the engines are still
+  // pristine (no requests executed, no reconfiguration, no imported state)
+  // — rebuilds its shard's engine on the worker thread so the store pages
+  // are first-touched on the owning worker's NUMA node. Engine construction
+  // is deterministic from the runtime's immutable inputs, so the rebuilt
+  // engine is identical to the one built at construction. Only meaningful
+  // with spawn_threads; requires pin_threads to matter for locality but is
+  // honored independently.
+  bool first_touch = false;
+
+  // Whether any placement work happens at worker start.
+  bool Active() const { return pin_threads || first_touch; }
+
+  // Checks the ranges above; throws std::invalid_argument naming the
+  // offending field. Called by RuntimeConfig::Validate.
+  void Validate() const {
+    if ((pin_threads || first_touch) && cpu_stride == 0) {
+      throw std::invalid_argument(
+          "PlacementConfig::cpu_stride must be at least 1 when placement is "
+          "enabled (stride 0 would pin every worker to the same CPU)");
+    }
+  }
+};
+
 struct RuntimeConfig {
   // Worker shards, each backed by its own core::Engine. 1 means the
   // single-shard configuration whose counters must match the sequential
@@ -168,13 +220,15 @@ struct RuntimeConfig {
   // sizes the fabric's per-channel capacity: the epoch protocol fully
   // drains every channel while producers are quiescent, so queue_depth + 2
   // batches per channel never blocks an epoch-boundary flush. Valid range:
-  // >= 1 (see Validate).
-  std::uint32_t queue_depth = 64;
+  // >= 1 (see Validate). Default chosen by scripts/tune_runtime.py from
+  // the committed results/tune_runtime.csv sweep (16 shards, epoch drain).
+  std::uint32_t queue_depth = 256;
 
   // Requests per task batch pushed into a shard queue. Batching amortizes
   // the queue handoff; the engine work per request dwarfs it at this size.
-  // Valid range: >= 1 (see Validate).
-  std::uint32_t batch_size = 128;
+  // Valid range: >= 1 (see Validate). Default swept alongside queue_depth
+  // (see results/tune_runtime.csv).
+  std::uint32_t batch_size = 256;
 
   // Epoch length in simulated seconds: cross-shard channels are fully
   // drained and engine ticks fire at epoch boundaries. Must divide the
@@ -224,6 +278,19 @@ struct RuntimeConfig {
   // Observability layer; disabled by default (see TelemetryConfig above).
   TelemetryConfig telemetry;
 
+  // Worker placement; disabled by default (see PlacementConfig above).
+  PlacementConfig placement;
+
+  // Batched fabric consume: boundary and barrier-assist drains empty each
+  // channel with one Fabric::DrainChannel claim (one acquire/release pair
+  // on the SPSC transport) instead of one TryRecv per batch. false selects
+  // the original single-op pops — kept selectable because under kEpoch the
+  // two paths must produce bit-identical results (runtime_test.cc pins
+  // this), which makes the fast path cheap to audit. The staleness-gated
+  // eager poll always pops one batch at a time regardless (each pop is
+  // gated on the channel's oldest dispatch age).
+  bool batched_drain = true;
+
   // false selects the deterministic inline fallback: the same epoch state
   // machine executed on the calling thread, shard by shard, with no threads
   // or locks involved. Produces byte-identical results to the threaded
@@ -259,6 +326,7 @@ struct RuntimeConfig {
     }
     scaler.Validate();
     telemetry.Validate();
+    placement.Validate();
   }
 };
 

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "runtime/auto_scaler.h"
 #include "runtime/telemetry.h"
@@ -129,18 +135,101 @@ std::unique_ptr<ShardedRuntime::Shard> ShardedRuntime::MakeShard(
   return shard;
 }
 
-void ShardedRuntime::InstallMaintenanceOwners() {
-  const std::uint32_t n = map_.num_shards();
-  for (auto& shard : shards_) {
-    if (n > 1) {
-      // Each engine adapts and evicts only the views this shard owns; the
-      // other shards' views keep their last-known replicas here.
-      shard->engine->SetMaintenanceOwner(
-          [map = map_, s = shard->id](ViewId v) { return map.shard_of(v) == s; });
-    } else {
-      shard->engine->SetMaintenanceOwner({});  // sole shard maintains all
-    }
+void ShardedRuntime::InstallMaintenanceOwner(Shard& shard) {
+  if (map_.num_shards() > 1) {
+    // Each engine adapts and evicts only the views this shard owns; the
+    // other shards' views keep their last-known replicas here.
+    shard.engine->SetMaintenanceOwner(
+        [map = map_, s = shard.id](ViewId v) { return map.shard_of(v) == s; });
+  } else {
+    shard.engine->SetMaintenanceOwner({});  // sole shard maintains all
   }
+}
+
+void ShardedRuntime::InstallMaintenanceOwners() {
+  for (auto& shard : shards_) InstallMaintenanceOwner(*shard);
+}
+
+// Runs on the worker thread, inside the placement gate: the dispatcher is
+// blocked in WaitFor and every other worker is in its own kPlace task (or
+// parked), so map_/fabric_ are stable and no channel has an active producer.
+void ShardedRuntime::ApplyPlacement(Shard& shard, bool rebuild_engine) {
+  const PlacementConfig& pc = config_.placement;
+  std::uint64_t requested = ~std::uint64_t{0};
+  std::uint64_t achieved = ~std::uint64_t{0};
+  bool pinned = false;
+  const char* outcome = "pinning disabled";
+  if (pc.pin_threads) {
+    const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+    requested = (pc.cpu_offset +
+                 static_cast<std::uint64_t>(shard.id) * pc.cpu_stride) %
+                ncpu;
+#if defined(__linux__)
+    // Self-pinning, so every later allocation/fault in this function (and
+    // in the worker's whole life) happens from the target CPU. Failure is
+    // the documented graceful no-op: record and continue unpinned.
+    cpu_set_t want;
+    CPU_ZERO(&want);
+    CPU_SET(static_cast<int>(requested), &want);
+    outcome = "setaffinity failed";
+    if (pthread_setaffinity_np(pthread_self(), sizeof(want), &want) == 0) {
+      cpu_set_t got;
+      CPU_ZERO(&got);
+      outcome = "readback failed";
+      if (pthread_getaffinity_np(pthread_self(), sizeof(got), &got) == 0 &&
+          CPU_ISSET(static_cast<int>(requested), &got)) {
+        pinned = true;
+        achieved = requested;
+        outcome = "pinned";
+      }
+    }
+#else
+    outcome = "affinity unsupported";
+#endif
+  }
+
+  if (pc.first_touch) {
+    if (rebuild_engine) {
+      // First run, pristine engines: reconstructing from the runtime's
+      // immutable inputs yields a bit-identical engine whose store pages
+      // are first-touched on this (now possibly pinned) worker instead of
+      // the dispatcher. Never done once any state was executed or imported.
+      auto fresh =
+          std::make_unique<core::Engine>(topo_, initial_, engine_config_);
+      if (persist_ != nullptr) fresh->AttachPersistentStore(persist_);
+      shard.engine = std::move(fresh);
+      InstallMaintenanceOwner(shard);
+    }
+    // Consumer side of every inbound channel: fault the slot pages from
+    // this worker. Scratch (drain_batches, drain_order, overlay buffers)
+    // needs no help — it grows lazily on the worker's first use.
+    fabric_->PrefaultInbound(shard.id);
+  }
+
+  if (shard.telem != nullptr) {
+    TraceEvent e;
+    e.type = TraceEventType::kPlacement;
+    e.ts_ns = NowNs();
+    e.epoch = shard.stats.epochs;
+    e.u0 = requested;
+    e.u1 = achieved;
+    e.u2 = pinned ? 1 : 0;
+    e.u3 = pc.first_touch ? 1 : 0;
+    e.label = outcome;
+    shard.telem->Emit(e);
+  }
+}
+
+void ShardedRuntime::RunPlacementPhase(
+    std::span<const std::uint32_t> shard_indices, bool rebuild_engines) {
+  if (!config_.placement.Active() || shard_indices.empty()) return;
+  for (std::uint32_t s : shard_indices) {
+    Task task;
+    task.kind = Task::Kind::kPlace;
+    task.rebuild_engine = rebuild_engines;
+    shards_[s]->tasks.Push(std::move(task));
+  }
+  gate_.WaitFor(static_cast<std::uint32_t>(shard_indices.size()));
 }
 
 ShardedRuntime::~ShardedRuntime() {
@@ -226,6 +315,9 @@ void ShardedRuntime::ApplyReconfigure(std::uint32_t new_count, bool threaded,
                                       SimTime epoch_end) {
   const std::uint32_t old_n = map_.num_shards();
   if (new_count == old_n) return;
+  // Any resize imports view state, so a later placement pass must never
+  // rebuild engines from the initial placement again.
+  engines_pristine_ = false;
   const std::uint64_t t0 = NowNs();
   ShardMap new_map(new_count, graph_->num_users(), config_.sharding);
   // Build the replacement communication plane up front: with the fabric
@@ -306,10 +398,16 @@ void ShardedRuntime::ApplyReconfigure(std::uint32_t new_count, bool threaded,
   }
   WireTelemetryTracks();
   if (threaded) {
+    std::vector<std::uint32_t> spawned;
     for (std::uint32_t s = old_n; s < new_count; ++s) {
       Shard* sp = shards_[s].get();
       sp->worker = std::thread([this, sp] { WorkerLoop(*sp); });
+      spawned.push_back(s);
     }
+    // Mid-run spawns pin and prefault too; never an engine rebuild — their
+    // engines just imported migrated state. Surviving workers are parked at
+    // the boundary, so the placement gate only counts the new arrivals.
+    RunPlacementPhase(spawned, /*rebuild_engines=*/false);
   }
 
   ReconfigEvent event;
@@ -336,6 +434,7 @@ void ShardedRuntime::BeginReconfigure(std::uint32_t new_count, bool threaded,
     ApplyReconfigure(new_count, threaded, epoch_end);
     return;
   }
+  engines_pristine_ = false;  // the window below imports view state
 
   const std::uint64_t t0 = NowNs();
   ShardMap target(new_count, graph_->num_users(), config_.sharding);
@@ -384,6 +483,15 @@ void ShardedRuntime::BeginReconfigure(std::uint32_t new_count, bool threaded,
       throw;
     }
     fabric_ = std::move(new_fabric);  // nothrow commit
+    if (threaded) {
+      // Placement for the window's new workers, against the *committed*
+      // fabric (prefaulting the about-to-be-replaced one would be wasted).
+      // No engine rebuild: these engines are about to import migrated
+      // state. Existing workers are parked, so the gate counts only these.
+      std::vector<std::uint32_t> spawned;
+      for (std::uint32_t s = old_n; s < new_count; ++s) spawned.push_back(s);
+      RunPlacementPhase(spawned, /*rebuild_engines=*/false);
+    }
   }
   // Merge: the retiring shards keep serving their unmigrated views, so the
   // live set, the fabric, and every outbox stay at old_n until the final
@@ -669,6 +777,8 @@ void ShardedRuntime::SampleTelemetryEpoch(std::uint64_t epoch_index,
         sample.maintenance_ns = track->maintenance_ns;
         sample.fabric_full_retries = track->fabric_full_retries;
         sample.fabric_max_depth = track->fabric_max_depth;
+        sample.drain_claims = track->drain_claims;
+        sample.drain_batch_ops = track->drain_batch_ops;
       }
       samples.push_back(sample);
     }
@@ -843,6 +953,8 @@ void ShardedRuntime::DrainEpoch(Shard& shard) {
   const std::uint64_t t0 = telem != nullptr ? NowNs() : 0;
   auto& batches = shard.drain_batches;
   batches.clear();
+  const bool batched = config_.batched_drain;
+  std::size_t claims = 0;
   for (std::uint32_t src = 0; src < map_.num_shards(); ++src) {
     if (src == shard.id) continue;
     if (telem != nullptr) {
@@ -851,13 +963,28 @@ void ShardedRuntime::DrainEpoch(Shard& shard) {
       const std::uint64_t depth = fabric_->Depth(src, shard.id);
       if (depth > telem->fabric_max_depth) telem->fabric_max_depth = depth;
     }
-    while (auto batch = fabric_->TryRecv(src, shard.id)) {
-      batches.push_back(std::move(*batch));
+    if (batched) {
+      // One synchronized claim empties the whole channel: the producer is
+      // quiescent behind the flush barrier, so a single acquire observes
+      // everything it published, and one release frees all the slots.
+      if (fabric_->DrainChannel(src, shard.id, batches,
+                                std::numeric_limits<std::size_t>::max()) !=
+          0) {
+        ++claims;
+      }
+    } else {
+      while (auto batch = fabric_->TryRecv(src, shard.id)) {
+        batches.push_back(std::move(*batch));
+      }
     }
   }
   const std::size_t batch_count = batches.size();
   const std::size_t ops = ServeBatches(shard);
   if (telem != nullptr) {
+    if (claims != 0) {
+      telem->drain_claims += claims;
+      telem->drain_batch_ops += ops;
+    }
     const std::uint64_t now = NowNs();
     telem->drain_ns += now - t0;
     TraceEvent e;
@@ -878,13 +1005,27 @@ void ShardedRuntime::EagerPoll(Shard& shard, bool ignore_staleness) {
   // kMaxStalenessMicros, so the µs -> ns conversion cannot wrap here.
   const std::uint64_t min_age_ns = config_.staleness_micros * 1000;
   const std::uint64_t now = NowNs();
+  std::size_t claims = 0;
   for (std::uint32_t src = 0; src < map_.num_shards(); ++src) {
     if (src == shard.id) continue;
+    if (ignore_staleness && config_.batched_drain) {
+      // Barrier-assist poll: no staleness gate, so the whole channel can be
+      // claimed at once. The producer may still be mid-flush — anything it
+      // publishes after this claim is caught by the enclosing retry loop.
+      if (fabric_->DrainChannel(src, shard.id, batches,
+                                std::numeric_limits<std::size_t>::max()) !=
+          0) {
+        ++claims;
+      }
+      continue;
+    }
     for (;;) {
       if (!ignore_staleness) {
         const std::uint64_t oldest = fabric_->OldestDispatchNs(src, shard.id);
         // Serve only batches that have aged past the staleness bound; the
-        // rest wait for a later poll or the epoch-boundary drain.
+        // rest wait for a later poll or the epoch-boundary drain. This gate
+        // re-checks per batch, which is why the staleness path keeps
+        // single-op pops even when batched_drain is on.
         if (oldest == 0 || oldest > now || now - oldest < min_age_ns) break;
       }
       auto batch = fabric_->TryRecv(src, shard.id);
@@ -903,6 +1044,11 @@ void ShardedRuntime::EagerPoll(Shard& shard, bool ignore_staleness) {
   if (!ignore_staleness) ++shard.stats.eager_drains;
   const std::size_t batch_count = batches.size();
   const std::size_t ops = ServeBatches(shard);
+  if (telem != nullptr && claims != 0) {
+    // Barrier-assist batched claims: everything served here came from them.
+    telem->drain_claims += claims;
+    telem->drain_batch_ops += ops;
+  }
   if (timed) {
     const std::uint64_t serve_end = NowNs();
     telem->drain_ns += serve_end - t0;
@@ -1013,6 +1159,10 @@ void ShardedRuntime::WorkerLoop(Shard& shard) {
         ++shard.stats.epochs;
         gate_.Arrive();
         break;
+      case Task::Kind::kPlace:
+        ApplyPlacement(shard, task->rebuild_engine);
+        gate_.Arrive();
+        break;
       case Task::Kind::kShutdown:
         return;
     }
@@ -1079,7 +1229,18 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       Shard* s = shard.get();
       shard->worker = std::thread([this, s] { WorkerLoop(*s); });
     }
+    // Placement phase: each worker pins itself and first-touches its hot
+    // memory before the first request is dispatched; the gate makes it a
+    // barrier, so no producer can race a consumer-side ring prefault. The
+    // inline fallback has no worker threads, so placement is a no-op there.
+    if (config_.placement.Active()) {
+      std::vector<std::uint32_t> all(n);
+      for (std::uint32_t s = 0; s < n; ++s) all[s] = s;
+      RunPlacementPhase(all,
+                        engines_pristine_ && config_.placement.first_touch);
+    }
   }
+  engines_pristine_ = false;
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto& requests = log.requests;

@@ -356,11 +356,16 @@ class ShardedRuntime {
       kRequests,
       kEndEpoch,
       kDrainEpoch,
+      kPlace,  // pin + first-touch on the worker, before any request
       kShutdown,
     };
     Kind kind = Kind::kRequests;
     std::vector<SeqRequest> requests;  // kRequests
     std::vector<SimTime> ticks;        // kDrainEpoch
+    // kPlace: rebuild this shard's engine on the worker (first-touch of the
+    // store pages). Only set on the first Run while the engines are
+    // pristine — never after requests executed or state was imported.
+    bool rebuild_engine = false;
   };
 
   // Counts worker arrivals at an epoch phase boundary.
@@ -431,8 +436,24 @@ class ShardedRuntime {
   // Builds one shard (engine over the stored initial placement, task queue,
   // outboxes are sized by the caller).
   std::unique_ptr<Shard> MakeShard(std::uint32_t id);
+  // (Re)installs one engine's maintenance-ownership predicate from map_.
+  // Called on the dispatcher at quiescent points, and on the owning worker
+  // after a placement engine rebuild (map_ is stable then: the dispatcher
+  // is parked on the placement gate).
+  void InstallMaintenanceOwner(Shard& shard);
   // (Re)installs each engine's maintenance-ownership predicate from map_.
   void InstallMaintenanceOwners();
+  // Runs on the worker thread as its first task (Task::Kind::kPlace):
+  // pins the thread per PlacementConfig, optionally rebuilds the engine
+  // (first_touch on a pristine first run) and prefaults the consumer side
+  // of the shard's inbound channels, then records the achieved placement
+  // as a kPlacement trace event. Failures degrade to a recorded no-op.
+  void ApplyPlacement(Shard& shard, bool rebuild_engine);
+  // Dispatcher side: pushes a kPlace task to each shard in `shards` and
+  // waits for all of them on the gate, so no producer can race a
+  // consumer-side prefault. No-op when placement is inactive.
+  void RunPlacementPhase(std::span<const std::uint32_t> shard_indices,
+                         bool rebuild_engines);
   // Pushes a kShutdown task; the worker exits after finishing queued work.
   static void RequestShutdown(Shard& shard);
   // Stops every live worker: shutdown tasks first, then joins. Shards with
@@ -552,6 +573,11 @@ class ShardedRuntime {
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Gate gate_;
+
+  // True until the first Run dispatches work or any reconfiguration
+  // imports state — the window in which a placement engine rebuild is
+  // guaranteed to reproduce the constructor-built engine exactly.
+  bool engines_pristine_ = true;
 
   // Reconfiguration request hand-off (any thread -> dispatcher) and the
   // retained accumulators of retired shards (dispatcher only, read by

@@ -8,20 +8,29 @@
 // subtraction gives the occupancy even across overflow. Capacity rounds up
 // to a power of two so indexing is a mask, not a modulo.
 //
-// Thread-safety: exactly one producer thread may call TryPush and exactly
-// one consumer thread may call TryPop/Front. The epoch protocol's flush
-// barrier (all producers quiesce before the drain) makes "pop until empty"
-// a stable observation for the consumer. capacity() is safe from anywhere
-// (immutable after construction); construction and destruction must be
-// externally synchronized against both sides — the runtime only creates or
-// destroys rings while every worker is quiescent (construction, or an
-// epoch-boundary fabric swap during online reconfiguration).
+// Thread-safety: exactly one producer thread may call TryPush/TryPushBatch
+// and exactly one consumer thread may call TryPop/ConsumeInto/Front. The
+// epoch protocol's flush barrier (all producers quiesce before the drain)
+// makes "pop until empty" a stable observation for the consumer. capacity()
+// is safe from anywhere (immutable after construction); construction and
+// destruction must be externally synchronized against both sides — the
+// runtime only creates or destroys rings while every worker is quiescent
+// (construction, or an epoch-boundary fabric swap during online
+// reconfiguration).
+//
+// Batched fast path: TryPushBatch publishes N slots under ONE release store
+// and ConsumeInto claims N slots under ONE acquire load + ONE release
+// store, vs one acquire/release pair per element for TryPush/TryPop. At an
+// epoch-boundary drain of a deep channel this turns N synchronized
+// operations into a single claim plus a move loop; the two APIs interleave
+// freely with the single-op ones on their respective sides.
 #pragma once
 
 #include <atomic>
 #include <bit>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -50,6 +59,27 @@ class SpscRing {
     return true;
   }
 
+  // Producer only: batched publish. Moves as many leading elements of
+  // `items` as currently fit (possibly zero, possibly all) into the ring
+  // and publishes them with ONE release store of tail_, instead of one per
+  // element. Returns the number pushed; the unpushed suffix of `items` is
+  // left intact for retry. The consumer's matching acquire (TryPop,
+  // ConsumeInto, Front) observes either none or all of the batch's slots.
+  std::size_t TryPushBatch(std::span<T> items) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = mask_ + 1 - (tail - head_cache_);
+    if (free < items.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - head_cache_);
+    }
+    const std::size_t n = std::min(items.size(), free);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(items[i]);
+    }
+    if (n != 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   // Consumer only. Empty optional when nothing is queued right now.
   std::optional<T> TryPop() {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -63,6 +93,29 @@ class SpscRing {
     return item;
   }
 
+  // Consumer only: batched consume. Appends up to `max` queued items to
+  // `out` under ONE acquire load of tail_ (the claim) and ONE release store
+  // of head_ (freeing every consumed slot at once), instead of a
+  // synchronized pair per element. Each consumed slot is reset to T{} so
+  // payload buffers are released eagerly, exactly like TryPop. Returns the
+  // number consumed (zero when the ring is empty).
+  std::size_t ConsumeInto(std::vector<T>& out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = tail_cache_ - head;
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const std::size_t n = std::min(max, avail);
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(slots_[(head + i) & mask_]));
+      slots_[(head + i) & mask_] = T{};  // release payload buffers eagerly
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
   // Consumer only: the next item without popping it (nullptr when empty).
   // Valid until the consumer's next TryPop.
   const T* Front() {
@@ -74,16 +127,32 @@ class SpscRing {
     return &slots_[head & mask_];
   }
 
-  // Consumer only: batches currently queued. The producer may push
-  // concurrently, so this is a lower bound at the instant of the call; at
-  // the runtime's quiescent points (producers parked) it is exact — which
-  // is when telemetry samples channel depth.
+  // Consumer only: items currently queued. The memory orders are
+  // deliberately asymmetric. head_ is the CALLER's own index — the consumer
+  // is its only writer, so a relaxed load always returns its latest value
+  // (no synchronization can be needed to read your own writes). tail_ is
+  // the producer's index; the acquire here pairs with the producer's
+  // release store in TryPush/TryPushBatch, so every increment counted was a
+  // fully published slot. A concurrent producer may push right after the
+  // load, which makes the result a lower bound in general; at the runtime's
+  // quiescent points (producers parked behind the flush barrier) no push
+  // can race, so the value is exact — which is when telemetry samples
+  // channel depth. fabric_test.cc pins this exactness claim.
   std::size_t Size() const {
     return tail_.load(std::memory_order_acquire) -
            head_.load(std::memory_order_relaxed);
   }
 
   std::size_t capacity() const { return mask_ + 1; }
+
+  // Consumer only, and only while the ring is empty and the producer is
+  // quiescent (the runtime's placement phase, where a gate guarantees
+  // both): rewrites every slot so the backing pages are faulted — and on
+  // first-touch NUMA policies, placed — from the calling thread. Slots are
+  // unreachable by a quiescent producer, so this cannot race.
+  void Prefault() {
+    for (T& slot : slots_) slot = T{};
+  }
 
  private:
   static constexpr std::size_t kCacheLine = 64;

@@ -31,6 +31,8 @@ const std::vector<MetricDef>& Schema() {
       {"maintenance_ns", MetricKind::kCounter, "ns"},
       {"fabric_full_retries", MetricKind::kCounter, "sends"},
       {"fabric_max_depth", MetricKind::kGauge, "batches"},
+      {"drain_claims", MetricKind::kCounter, "claims"},
+      {"drain_batch_ops", MetricKind::kCounter, "ops"},
       {"engine_view_reads", MetricKind::kCounter, "views"},
       {"views_pending", MetricKind::kGauge, "views"},
   };
@@ -50,6 +52,7 @@ const char* EventName(TraceEventType type) {
     case TraceEventType::kStepMigration: return "step_migration";
     case TraceEventType::kCompleteMigration: return "complete_migration";
     case TraceEventType::kScalerDecision: return "scaler_decision";
+    case TraceEventType::kPlacement: return "placement";
   }
   return "unknown";
 }
@@ -116,6 +119,13 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
     case TraceEventType::kMaintenance:
       AppendU64(out, "ticks", e.u0, &first);
       break;
+    case TraceEventType::kPlacement:
+      AppendU64(out, "requested_cpu", e.u0, &first);
+      AppendU64(out, "achieved_cpu", e.u1, &first);
+      AppendU64(out, "pinned", e.u2, &first);
+      AppendU64(out, "first_touch", e.u3, &first);
+      out.append(",\"outcome\":\"").append(e.label).append("\"");
+      break;
     case TraceEventType::kBarrierWait:
       break;
   }
@@ -169,6 +179,8 @@ void Telemetry::SampleEpoch(std::uint64_t epoch_index, SimTime epoch_end,
         static_cast<double>(s.maintenance_ns),
         static_cast<double>(s.fabric_full_retries),
         static_cast<double>(s.fabric_max_depth),
+        static_cast<double>(s.drain_claims),
+        static_cast<double>(s.drain_batch_ops),
         static_cast<double>(s.engine_view_reads),
         static_cast<double>(views_pending),
     };

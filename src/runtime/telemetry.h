@@ -62,6 +62,7 @@ enum class TraceEventType : std::uint8_t {
   kStepMigration,      // dispatcher: one incremental migration batch
   kCompleteMigration,  // dispatcher: window closed (instant)
   kScalerDecision,     // dispatcher: auto-scaler observation (instant)
+  kPlacement,          // worker: achieved CPU placement at worker start
 };
 
 // One structured trace record. `ts_ns` is a steady-clock stamp; spans carry
@@ -79,6 +80,9 @@ enum class TraceEventType : std::uint8_t {
 //                     u2=cooldown_left, u3=cold_streak, u4=max_shard_ops,
 //                     u5=total_ops, f0=imbalance, f1=max_queue_backlog,
 //                     label=reason
+//   kPlacement        u0=requested cpu, u1=achieved cpu (or ~0 on
+//                     failure/unpinned), u2=pinned (1/0), u3=first-touch
+//                     performed (1/0), label=outcome
 // `label` must point at a string literal (or other static storage): events
 // outlive the emitting scope and the snapshot copies them by value.
 struct TraceEvent {
@@ -132,6 +136,8 @@ class TelemetryTrack {
   std::uint64_t maintenance_ns = 0;   // engine ticks
   std::uint64_t fabric_full_retries = 0;  // TrySend refusals (backpressure)
   std::uint64_t fabric_max_depth = 0;     // deepest inbound channel seen
+  std::uint64_t drain_claims = 0;     // batched DrainChannel claims (>0 ops)
+  std::uint64_t drain_batch_ops = 0;  // ops served via batched claims
 
   void ResetEpochPhases() {
     compute_ns = 0;
@@ -140,6 +146,8 @@ class TelemetryTrack {
     maintenance_ns = 0;
     fabric_full_retries = 0;
     fabric_max_depth = 0;
+    drain_claims = 0;
+    drain_batch_ops = 0;
   }
 
  private:
@@ -172,6 +180,8 @@ struct ShardEpochSample {
   std::uint64_t maintenance_ns = 0;
   std::uint64_t fabric_full_retries = 0;
   std::uint64_t fabric_max_depth = 0;
+  std::uint64_t drain_claims = 0;
+  std::uint64_t drain_batch_ops = 0;
 };
 
 class Telemetry {

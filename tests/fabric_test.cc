@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -68,6 +70,178 @@ TEST(SpscRingTest, WrapsAroundManyTimes) {
   }
   EXPECT_EQ(next_pop, next_push);
   EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+// ----- Batched producer/consumer APIs -----
+
+TEST(SpscRingTest, TryPushBatchTakesPrefixWhenPartiallyFull) {
+  SpscRing<int> ring(4);  // capacity 4
+  int seed = 100;
+  ASSERT_TRUE(ring.TryPush(seed));
+
+  std::vector<int> items{0, 1, 2, 3, 4, 5};
+  // Only 3 slots remain: the leading 3 are pushed, the suffix stays intact.
+  EXPECT_EQ(ring.TryPushBatch(items), 3u);
+  EXPECT_EQ(items[3], 3);
+  EXPECT_EQ(items[4], 4);
+  EXPECT_EQ(items[5], 5);
+
+  // Full ring: a batched push accepts nothing.
+  EXPECT_EQ(ring.TryPushBatch(std::span<int>(items).subspan(3)), 0u);
+
+  EXPECT_EQ(ring.TryPop(), 100);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(ring.TryPop(), i);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, ConsumeIntoHonorsMaxAndEmptyRing) {
+  SpscRing<int> ring(8);
+  std::vector<int> out;
+  EXPECT_EQ(ring.ConsumeInto(out, 4), 0u);  // empty: no claim
+  EXPECT_TRUE(out.empty());
+
+  for (int i = 0; i < 6; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.TryPush(v));
+  }
+  EXPECT_EQ(ring.ConsumeInto(out, 4), 4u);  // partial: max < available
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ring.ConsumeInto(out, 100), 2u);  // rest: max > available
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(ring.ConsumeInto(out, 100), 0u);
+}
+
+TEST(SpscRingTest, BatchedOpsWrapAroundManyTimes) {
+  SpscRing<std::uint64_t> ring(4);  // free-running indices wrap the mask often
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  std::vector<std::uint64_t> staged;
+  std::vector<std::uint64_t> out;
+  for (int round = 0; round < 500; ++round) {
+    staged.clear();
+    const std::uint64_t burst = 1 + round % 4;
+    for (std::uint64_t k = 0; k < burst; ++k) staged.push_back(next_push++);
+    ASSERT_EQ(ring.TryPushBatch(staged), burst);
+    out.clear();
+    ASSERT_EQ(ring.ConsumeInto(out, burst), burst);
+    for (std::uint64_t v : out) ASSERT_EQ(v, next_pop++);
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, BatchedAndSingleOpApisInterleave) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  std::vector<std::uint64_t> out;
+  for (int round = 0; round < 200; ++round) {
+    // Alternate publish styles on the producer side...
+    if (round % 2 == 0) {
+      std::vector<std::uint64_t> staged{next_push, next_push + 1,
+                                        next_push + 2};
+      ASSERT_EQ(ring.TryPushBatch(staged), 3u);
+      next_push += 3;
+    } else {
+      std::uint64_t v = next_push;
+      ASSERT_TRUE(ring.TryPush(v));
+      ++next_push;
+    }
+    // ...and consume styles on the consumer side; FIFO order must hold
+    // across every combination.
+    if (round % 3 == 0) {
+      out.clear();
+      ring.ConsumeInto(out, 2);
+      for (std::uint64_t v : out) ASSERT_EQ(v, next_pop++);
+    } else {
+      while (auto v = ring.TryPop()) ASSERT_EQ(*v, next_pop++);
+    }
+  }
+  while (auto v = ring.TryPop()) ASSERT_EQ(*v, next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+// Size() is a lower bound while a producer runs, but exact at quiescent
+// points — the documented asymmetry in spsc_ring.h (relaxed load of the
+// consumer's own head_, acquire of the producer's tail_). This pins the
+// exactness half: with both sides quiescent on one thread, Size() equals
+// pushes minus pops at every step, across wraps.
+TEST(SpscRingTest, SizeIsExactAtQuiescentPoints) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Size(), 0u);
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  for (int round = 0; round < 300; ++round) {
+    const int burst = 1 + round % 4;
+    for (int k = 0; k < burst; ++k) {
+      int v = k;
+      ASSERT_TRUE(ring.TryPush(v));
+      ++pushes;
+      ASSERT_EQ(ring.Size(), pushes - pops);
+    }
+    for (int k = 0; k < burst; ++k) {
+      ASSERT_TRUE(ring.TryPop().has_value());
+      ++pops;
+      ASSERT_EQ(ring.Size(), pushes - pops);
+    }
+  }
+  EXPECT_EQ(ring.Size(), 0u);
+}
+
+// The batched TSan target: producer publishes in variable-size bursts via
+// TryPushBatch, consumer claims via ConsumeInto, mixing in single-op calls
+// on both sides — order and completeness checked under real concurrency.
+TEST(SpscRingTest, BatchedProducerConsumerDeliversEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(16);
+  constexpr std::uint64_t kItems = 20000;
+  std::thread producer([&] {
+    std::uint64_t next = 0;
+    std::vector<std::uint64_t> staged;
+    while (next < kItems) {
+      if (next % 7 == 0) {  // sprinkle single-op pushes between batches
+        std::uint64_t v = next;
+        if (ring.TryPush(v)) {
+          ++next;
+        } else {
+          std::this_thread::yield();  // single-core containers
+        }
+        continue;
+      }
+      staged.clear();
+      const std::uint64_t burst = std::min<std::uint64_t>(
+          1 + next % 5, kItems - next);
+      for (std::uint64_t k = 0; k < burst; ++k) staged.push_back(next + k);
+      const std::size_t sent = ring.TryPushBatch(staged);
+      next += sent;
+      if (sent == 0) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::vector<std::uint64_t> out;
+  while (expected < kItems) {
+    if (expected % 5 == 0) {  // sprinkle single-op pops between claims
+      if (auto v = ring.TryPop()) {
+        ASSERT_EQ(*v, expected);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    out.clear();
+    const std::size_t got = ring.ConsumeInto(out, 8);
+    if (got == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::uint64_t v : out) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(ring.TryPop().has_value());
+  EXPECT_EQ(ring.Size(), 0u);  // quiescent: exact, and empty
 }
 
 // The TSan target: one producer, one consumer, full throughput, order and
@@ -164,6 +338,148 @@ TEST_P(FabricTest, TrySendFailsWhenFullAndKeepsBatch) {
   EXPECT_EQ(overflow.targets, std::vector<ViewId>{42});
   ASSERT_TRUE(fabric->TryRecv(0, 1).has_value());
   EXPECT_TRUE(fabric->TrySend(0, 1, overflow));  // slot freed
+}
+
+TEST_P(FabricTest, BatchedSendAndDrainRoundTrip) {
+  auto fabric = MakeFabric(GetParam(), 3, 8);
+  std::vector<WireBatch> staged;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    staged.push_back(MakeBatch(i, 100 + i, {static_cast<ViewId>(i)}));
+  }
+  ASSERT_EQ(fabric->TrySendBatch(0, 2, staged), 5u);
+
+  // Drain respects max, preserves order, and appends to the caller's
+  // buffer — the runtime reuses one scratch vector across channels.
+  std::vector<WireBatch> out;
+  EXPECT_EQ(fabric->DrainChannel(0, 2, out, 2), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(fabric->DrainChannel(0, 2, out, 100), 3u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].ops[0].seq, i);
+    EXPECT_EQ(out[i].ops[0].dispatch_ns, 100 + i);
+    EXPECT_EQ(out[i].targets, std::vector<ViewId>{static_cast<ViewId>(i)});
+  }
+  EXPECT_EQ(fabric->DrainChannel(0, 2, out, 100), 0u);  // empty channel
+  EXPECT_FALSE(fabric->TryRecv(0, 2).has_value());
+}
+
+TEST_P(FabricTest, BatchedSendTakesPrefixWhenChannelFills) {
+  auto fabric = MakeFabric(GetParam(), 2, 4);
+  // Learn the channel's (transport-rounded) capacity, then free it.
+  std::uint32_t capacity = 0;
+  for (; capacity < 1000; ++capacity) {
+    WireBatch filler = MakeBatch(capacity, 1, {1});
+    if (!fabric->TrySend(0, 1, filler)) break;
+  }
+  std::vector<WireBatch> drained;
+  ASSERT_EQ(fabric->DrainChannel(0, 1, drained, 1000), capacity);
+
+  // Offer capacity + 3: exactly the leading `capacity` go through, the
+  // rejected suffix is untouched and retryable.
+  std::vector<WireBatch> staged;
+  for (std::uint64_t i = 0; i < capacity + 3u; ++i) {
+    staged.push_back(MakeBatch(i, 1, {static_cast<ViewId>(i)}));
+  }
+  EXPECT_EQ(fabric->TrySendBatch(0, 1, staged), capacity);
+  EXPECT_EQ(fabric->TrySendBatch(0, 1,
+                                 std::span<WireBatch>(staged).subspan(capacity)),
+            0u);  // full: nothing accepted
+  for (std::uint64_t i = capacity; i < capacity + 3u; ++i) {
+    EXPECT_EQ(staged[i].ops[0].seq, i);  // suffix intact
+  }
+  drained.clear();
+  EXPECT_EQ(fabric->DrainChannel(0, 1, drained, 1000), capacity);
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    EXPECT_EQ(drained[i].ops[0].seq, i);
+  }
+  // The freed slots accept the suffix now.
+  EXPECT_EQ(fabric->TrySendBatch(0, 1,
+                                 std::span<WireBatch>(staged).subspan(capacity)),
+            3u);
+}
+
+TEST_P(FabricTest, BatchedAndSingleOpCallsInterleaveOnOneChannel) {
+  auto fabric = MakeFabric(GetParam(), 2, 16);
+  std::uint64_t next_send = 0;
+  std::uint64_t next_recv = 0;
+  std::vector<WireBatch> out;
+  for (int round = 0; round < 50; ++round) {
+    if (round % 2 == 0) {
+      std::vector<WireBatch> staged;
+      staged.push_back(MakeBatch(next_send, 1, {1}));
+      staged.push_back(MakeBatch(next_send + 1, 1, {2}));
+      ASSERT_EQ(fabric->TrySendBatch(0, 1, staged), 2u);
+      next_send += 2;
+    } else {
+      WireBatch one = MakeBatch(next_send, 1, {3});
+      ASSERT_TRUE(fabric->TrySend(0, 1, one));
+      ++next_send;
+    }
+    if (round % 3 == 0) {
+      out.clear();
+      fabric->DrainChannel(0, 1, out, 3);
+      for (const WireBatch& b : out) ASSERT_EQ(b.ops[0].seq, next_recv++);
+    } else {
+      while (auto b = fabric->TryRecv(0, 1)) {
+        ASSERT_EQ(b->ops[0].seq, next_recv++);
+      }
+    }
+  }
+  while (auto b = fabric->TryRecv(0, 1)) ASSERT_EQ(b->ops[0].seq, next_recv++);
+  EXPECT_EQ(next_recv, next_send);
+}
+
+// Threaded batched exchange on every channel: producers publish with
+// TrySendBatch, consumers claim with DrainChannel (TSan fodder for the
+// batched fast path).
+TEST_P(FabricTest, AllPairsThreadedBatchedExchange) {
+  constexpr std::uint32_t kShards = 4;
+  constexpr std::uint64_t kPerPair = 500;
+  constexpr std::uint64_t kBurst = 4;
+  auto fabric = MakeFabric(GetParam(), kShards, 8);
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  workers.reserve(kShards);
+  for (std::uint32_t self = 0; self < kShards; ++self) {
+    workers.emplace_back([&, self] {
+      std::array<std::uint64_t, kShards> next_send{};
+      std::array<std::uint64_t, kShards> next_recv{};
+      std::vector<WireBatch> staged;
+      std::vector<WireBatch> claimed;
+      bool done = false;
+      while (!done) {
+        done = true;
+        for (std::uint32_t peer = 0; peer < kShards; ++peer) {
+          if (peer == self) continue;
+          if (next_send[peer] < kPerPair) {
+            done = false;
+            staged.clear();
+            const std::uint64_t burst =
+                std::min(kBurst, kPerPair - next_send[peer]);
+            for (std::uint64_t k = 0; k < burst; ++k) {
+              staged.push_back(MakeBatch(next_send[peer] + k, 1,
+                                         {static_cast<ViewId>(self)}));
+            }
+            next_send[peer] += fabric->TrySendBatch(self, peer, staged);
+          }
+          claimed.clear();
+          fabric->DrainChannel(peer, self, claimed, kBurst);
+          for (const WireBatch& batch : claimed) {
+            if (batch.ops[0].seq != next_recv[peer] ||
+                batch.targets[0] != peer) {
+              failed.store(true);
+            }
+            ++next_recv[peer];
+          }
+          if (next_recv[peer] < kPerPair) done = false;
+        }
+        if (!done) std::this_thread::yield();  // single-core containers
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_FALSE(failed.load());
 }
 
 TEST_P(FabricTest, OldestDispatchNsTracksHeadOfChannel) {

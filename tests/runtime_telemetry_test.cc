@@ -183,6 +183,17 @@ void ExpectSeriesReconciles(const RuntimeResult& r) {
   EXPECT_EQ(total("engine_view_reads"), r.counters.view_reads);
 }
 
+// Under the deterministic kEpoch drain every remote op reaches its
+// destination through a batched boundary claim, so drain_batch_ops — the
+// count of ops served from batched DrainChannel claims — must equal the sum
+// of the remote-delivery counters bit for bit.
+void ExpectBatchedDrainReconciles(const RuntimeResult& r) {
+  ASSERT_NE(r.telemetry, nullptr);
+  const common::MetricSeries& series = r.telemetry->series;
+  EXPECT_EQ(static_cast<std::uint64_t>(series.ColumnTotal("drain_batch_ops")),
+            r.totals.remote_read_slices + r.totals.remote_write_applies);
+}
+
 void ExpectCountersEq(const core::EngineCounters& a,
                       const core::EngineCounters& b) {
   EXPECT_EQ(a.reads, b.reads);
@@ -272,15 +283,79 @@ TEST(RuntimeTelemetryTest, MetricTotalsReconcileWithRunAggregates) {
   // One row per (boundary, shard): 24 epochs x 4 shards.
   const common::MetricSeries& series = result.telemetry->series;
   EXPECT_EQ(series.rows().size(), 24u * 4u);
-  EXPECT_EQ(series.schema().size(), 16u);
+  EXPECT_EQ(series.schema().size(), 18u);
   // Under kEpoch no staleness-gated polls run.
   EXPECT_EQ(series.ColumnTotal("eager_drains"), 0.0);
+  // Every remote op was delivered by a batched boundary claim.
+  ExpectBatchedDrainReconciles(result);
+  EXPECT_GT(series.ColumnTotal("drain_claims"), 0.0);
   // The CSV round-trips the header and row count.
   const std::string csv = series.ToCsv();
   EXPECT_EQ(csv.rfind("epoch,epoch_end_s,shard,requests,", 0), 0u);
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(csv.begin(), csv.end(), '\n')),
             series.rows().size() + 1);
+}
+
+TEST(RuntimeTelemetryTest, BatchedDrainCountersReconcileAndSingleOpIsZero) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  RuntimeConfig batched_config = TelemetryConfigOn(4);
+  batched_config.batched_drain = true;
+  const RuntimeResult batched = RunWithPlan(g, log, batched_config, {});
+  ExpectBatchedDrainReconciles(batched);
+  const common::MetricSeries& bs = batched.telemetry->series;
+  EXPECT_GT(bs.ColumnTotal("drain_claims"), 0.0);
+  // Claims count DrainChannel calls that returned work; each claim yields
+  // at least one batch and each batch at least one op.
+  EXPECT_GE(bs.ColumnTotal("drain_batch_ops"), bs.ColumnTotal("drain_claims"));
+
+  // The single-op reference path records no batched-claim activity but is
+  // otherwise bit-identical: same engine counters, same remote deliveries.
+  RuntimeConfig single_config = batched_config;
+  single_config.batched_drain = false;
+  const RuntimeResult single = RunWithPlan(g, log, single_config, {});
+  const common::MetricSeries& ss = single.telemetry->series;
+  EXPECT_EQ(ss.ColumnTotal("drain_claims"), 0.0);
+  EXPECT_EQ(ss.ColumnTotal("drain_batch_ops"), 0.0);
+  ExpectCountersEq(batched.counters, single.counters);
+  EXPECT_EQ(batched.totals.remote_read_slices, single.totals.remote_read_slices);
+  EXPECT_EQ(batched.totals.remote_write_applies,
+            single.totals.remote_write_applies);
+  EXPECT_EQ(batched.totals.messages_sent, single.totals.messages_sent);
+}
+
+TEST(RuntimeTelemetryTest, PlacementEventsRecordOutcomePerShard) {
+  const auto g = TestGraph(400);
+  const auto log = TestLog(g, 0.5);
+  RuntimeConfig rt_config = TelemetryConfigOn(2);
+  rt_config.placement.pin_threads = true;
+  rt_config.placement.first_touch = true;
+  const RuntimeResult result = RunWithPlan(g, log, rt_config, {});
+  ASSERT_NE(result.telemetry, nullptr);
+  const TelemetrySnapshot& snap = *result.telemetry;
+
+  // One placement instant per worker, on that worker's own track, carrying
+  // the requested CPU and a non-empty outcome; pinning may legitimately
+  // fail in restricted containers (u2 == 0) but the event is still emitted.
+  std::uint64_t placements = 0;
+  for (const TraceEvent& e : snap.events) {
+    if (e.type != TraceEventType::kPlacement) continue;
+    EXPECT_GE(e.track, 1u) << "placement runs on worker tracks, not track 0";
+    EXPECT_EQ(e.dur_ns, 0u);
+    EXPECT_EQ(e.u3, 1u);  // first_touch was requested
+    EXPECT_STRNE(e.label, "");
+    if (e.u2 != 0) EXPECT_EQ(e.u1, e.u0);  // pinned => achieved == requested
+    ++placements;
+  }
+  EXPECT_EQ(placements, 2u);
+  ExpectSeriesReconciles(result);
+  ExpectBatchedDrainReconciles(result);
+
+  const std::string json = ChromeTraceJson(snap);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"placement\""), std::string::npos);
 }
 
 TEST(RuntimeTelemetryTest, MetricTotalsReconcileAcrossResizes) {

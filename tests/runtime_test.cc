@@ -532,6 +532,96 @@ TEST(FabricRuntimeTest, SpscEpochMatchesMutexBitForBit) {
   }
 }
 
+TEST(FabricRuntimeTest, BatchedDrainMatchesSingleOpBitForBit) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  // The batched fast path (one DrainChannel claim per channel) against the
+  // original one-TryRecv-per-batch reference, on both transports: under
+  // kEpoch the four runs must be bit-identical.
+  std::vector<RuntimeResult> results;
+  for (const FabricTransport transport :
+       {FabricTransport::kSpsc, FabricTransport::kMutex}) {
+    for (const bool batched : {true, false}) {
+      RuntimeConfig config =
+          FabricConfig(4, transport, DrainPolicy::kEpoch);
+      config.batched_drain = batched;
+      results.push_back(RunSharded(g, log, /*adaptive=*/true, config));
+    }
+  }
+  const RuntimeResult& reference = results.front();
+  EXPECT_EQ(reference.totals.requests, reference.expected_requests);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ExpectCountersEq(results[i].counters, reference.counters);
+    ASSERT_EQ(results[i].shard_counters.size(),
+              reference.shard_counters.size());
+    for (std::size_t s = 0; s < reference.shard_counters.size(); ++s) {
+      ExpectCountersEq(results[i].shard_counters[s],
+                       reference.shard_counters[s]);
+      ExpectStatsEq(results[i].shard_stats[s], reference.shard_stats[s]);
+    }
+  }
+}
+
+TEST(FabricRuntimeTest, PlacementOnOrOffIsBitIdentical) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  const RuntimeConfig plain =
+      FabricConfig(4, FabricTransport::kSpsc, DrainPolicy::kEpoch);
+  RuntimeConfig placed = plain;
+  placed.placement.pin_threads = true;
+  placed.placement.first_touch = true;
+
+  // Placement only moves threads and memory pages; pinning, the worker-side
+  // engine rebuild, and the ring prefault must not change a single counter.
+  // This holds whether or not the affinity calls succeed (they may fail in
+  // restricted containers — the documented graceful no-op).
+  const RuntimeResult a = RunSharded(g, log, /*adaptive=*/true, plain);
+  const RuntimeResult b = RunSharded(g, log, /*adaptive=*/true, placed);
+  ExpectCountersEq(a.counters, b.counters);
+  ASSERT_EQ(a.shard_counters.size(), b.shard_counters.size());
+  for (std::size_t s = 0; s < a.shard_counters.size(); ++s) {
+    ExpectCountersEq(a.shard_counters[s], b.shard_counters[s]);
+    ExpectStatsEq(a.shard_stats[s], b.shard_stats[s]);
+  }
+  EXPECT_EQ(a.request_latency.count(), b.request_latency.count());
+}
+
+TEST(FabricRuntimeTest, PlacementSurvivesMidRunResize) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  RuntimeConfig placed =
+      FabricConfig(2, FabricTransport::kSpsc, DrainPolicy::kEpoch);
+  placed.placement.pin_threads = true;
+  placed.placement.first_touch = true;
+
+  // Mid-run split then merge: newly spawned workers run their own placement
+  // phase (pin + prefault, never an engine rebuild — they import migrated
+  // state); results stay bit-identical to the unplaced run of the same plan.
+  const auto run = [&](const RuntimeConfig& config) {
+    const RuntimeFixture fx = MakeFixture(g, BaseConfig(/*adaptive=*/true));
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, config);
+    runtime.SetEpochHook([&runtime](SimTime, std::uint64_t idx) {
+      if (idx == 8) runtime.Reconfigure(4);
+      if (idx == 16) runtime.Reconfigure(2);
+    });
+    return runtime.Run(log);
+  };
+  RuntimeConfig plain = placed;
+  plain.placement = PlacementConfig{};
+  const RuntimeResult a = run(plain);
+  const RuntimeResult b = run(placed);
+  EXPECT_EQ(b.totals.requests, b.expected_requests);
+  ExpectCountersEq(a.counters, b.counters);
+  ASSERT_EQ(a.shard_counters.size(), b.shard_counters.size());
+  for (std::size_t s = 0; s < a.shard_counters.size(); ++s) {
+    ExpectCountersEq(a.shard_counters[s], b.shard_counters[s]);
+    ExpectStatsEq(a.shard_stats[s], b.shard_stats[s]);
+  }
+}
+
 TEST(FabricRuntimeTest, MutexTransportOneShardStillMatchesSequential) {
   const auto g = TestGraph();
   const auto log = TestLog(g, 0.5);
@@ -866,6 +956,21 @@ TEST(ShardedRuntimeTest, ValidationErrorsNameTheOffendingField) {
   RuntimeConfig bad_scaler;
   bad_scaler.scaler.min_shards = 0;
   EXPECT_NE(message_of(bad_scaler).find("min_shards"), std::string::npos);
+
+  // ...and the placement config's: stride 0 is rejected only when placement
+  // is actually enabled (the dormant default config stays valid).
+  RuntimeConfig bad_stride;
+  bad_stride.placement.pin_threads = true;
+  bad_stride.placement.cpu_stride = 0;
+  EXPECT_NE(message_of(bad_stride).find("cpu_stride must be at least 1"),
+            std::string::npos);
+  RuntimeConfig dormant_stride;
+  dormant_stride.placement.cpu_stride = 0;  // placement off: unchecked
+  EXPECT_NO_THROW(dormant_stride.Validate());
+  RuntimeConfig first_touch_stride;
+  first_touch_stride.placement.first_touch = true;
+  first_touch_stride.placement.cpu_stride = 0;
+  EXPECT_THROW(first_touch_stride.Validate(), std::invalid_argument);
 
   EXPECT_NO_THROW(RuntimeConfig{}.Validate());  // defaults are valid
 
