@@ -1,0 +1,335 @@
+// Shard replication + fault injection: what a mid-run shard kill costs and
+// what it loses, under each replication mode.
+//
+// Replays the synthetic day-log through rt::ShardedRuntime with a
+// deterministic rt::FaultInjector kill landing at one-third of the run,
+// under four scenarios:
+//
+//   baseline     sync replication enabled, no fault — the degradation and
+//                conservation reference
+//   kill-sync    sync replication; the kill must lose zero acknowledged
+//                writes and fail every lost view over to the fresh backup
+//   kill-async   async replication (bounded lag); the kill loses exactly
+//                the records the victim still buffered, capped by the lag
+//   kill-norepl  replication disabled, payload mode + persist store; every
+//                lost view recovers from the store instead
+//
+// For every run the bench reports ops/sec, completion percentiles, the
+// kill's accounting (views by recovery source, write loss), the rebuild
+// step sequence, and a per-epoch timeline around the kill (global and
+// healthy-shard request throughput, views rebuilt, replication lag). The
+// verdict — wired to the process exit code so CI smoke runs fail on
+// regressions — requires every run to conserve the logged request count,
+// sync to lose zero writes, async loss to stay within the lag bound,
+// persist recovery to cover every lost view, every rebuild step to respect
+// rebuild_batch, and no post-kill epoch with log traffic to stall at zero
+// global throughput (healthy shards never pause for the rebuild).
+//
+// Flags (bench_util): --scale=F --days=F --seed=N --graph=NAME --smoke
+// --csv-dir=PATH --trace=PATH --timeseries=PATH. --smoke caps scale/days
+// for a seconds-long CI run. The telemetry export rides kill-sync — the
+// scenario whose trace shows the fault instant, the failover span, and the
+// bounded rebuild_step spans ending in rebuild_complete.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "persist/persistent_store.h"
+#include "runtime/fault_injector.h"
+#include "runtime/sharded_runtime.h"
+#include "runtime/telemetry.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+using namespace dynasore;
+using bench::BenchArgs;
+
+namespace {
+
+constexpr std::uint32_t kShards = 4;
+constexpr std::uint32_t kAsyncMaxLag = 64;
+
+constexpr char kCsvHeader[] =
+    "section,scenario,epoch,requests,healthy_requests,views_rebuilt,"
+    "repl_lag,views_owned,views_replica,views_persist,views_cold,"
+    "writes_unreplicated,writes_lost,rebuild_steps,max_step_items,"
+    "max_pause_us,ops_per_sec,p50_us,p99_us,conserved,ok\n";
+
+struct Scenario {
+  const char* name;
+  bool kill = false;
+  bool replication = false;
+  rt::ReplicationMode mode = rt::ReplicationMode::kSync;
+  bool persist = false;  // payload mode + attached persist store
+};
+
+struct EpochRow {
+  std::uint64_t requests = 0;          // all shards
+  std::uint64_t healthy_requests = 0;  // shards other than the victim
+  std::uint64_t views_rebuilt = 0;
+  std::uint64_t repl_lag = 0;
+};
+
+struct Outcome {
+  rt::RuntimeResult result;
+  std::map<std::uint64_t, EpochRow> timeline;  // epoch -> aggregated row
+  rt::FaultEvent kill;
+  bool killed = false;
+  bool conserved = false;
+  bool batches_bounded = true;
+  bool no_stall = true;        // post-kill log epochs keep serving
+  std::uint64_t rebuild_steps = 0;
+  std::uint64_t max_step_items = 0;
+  std::uint64_t max_pause_ns = 0;
+  std::uint64_t last_log_epoch = 0;
+};
+
+std::size_t ColumnIndex(const common::MetricSeries& series, const char* name) {
+  for (std::size_t i = 0; i < series.schema().size(); ++i) {
+    if (std::string_view(series.schema()[i].name) == name) return i;
+  }
+  std::fprintf(stderr, "missing telemetry column %s\n", name);
+  return 0;
+}
+
+Outcome RunScenario(const graph::SocialGraph& g, const wl::RequestLog& log,
+                    const BenchArgs& args, const Scenario& sc,
+                    std::uint64_t kill_epoch, std::uint32_t victim,
+                    std::uint32_t rebuild_batch, bool telemetry_export) {
+  sim::ExperimentConfig config;
+  config.policy = sim::Policy::kRandom;
+  config.extra_memory_pct = 50;
+  config.seed = args.seed;
+  config.engine.store.payload_mode = sc.persist;
+  const net::Topology topo = sim::MakeTopology(config.cluster);
+  core::EngineConfig engine = config.engine;
+  engine.store.capacity_views = sim::CapacityPerServer(
+      g.num_users(), topo.num_servers(), config.extra_memory_pct);
+  const place::PlacementResult placement = sim::MakeInitialPlacement(
+      g, topo, engine.store.capacity_views, config);
+
+  rt::RuntimeConfig rt_config;
+  rt_config.num_shards = kShards;
+  rt_config.telemetry.enabled = true;  // per-epoch timeline for the verdict
+  rt_config.replication.enabled = sc.replication;
+  rt_config.replication.mode = sc.mode;
+  rt_config.replication.async_max_lag = kAsyncMaxLag;
+  rt_config.replication.rebuild_batch = rebuild_batch;
+  rt::ShardedRuntime runtime(g, topo, placement, engine, rt_config);
+
+  persist::PersistentStore persist;
+  if (sc.persist) {
+    for (UserId u = 0; u < g.num_users(); ++u) persist.Append({u, 0, "seed"});
+    runtime.AttachPersistentStore(&persist);
+  }
+
+  rt::FaultInjector injector;
+  if (sc.kill) injector.KillShardAt(kill_epoch, victim);
+  runtime.SetFaultInjector(&injector);
+
+  Outcome out;
+  out.result = runtime.Run(log);
+  if (telemetry_export) bench::SaveRunTelemetry(args, out.result);
+  const rt::RuntimeResult& r = out.result;
+
+  out.conserved = r.totals.requests == r.expected_requests &&
+                  r.counters.reads == log.num_reads &&
+                  r.counters.writes == log.num_writes;
+  for (const rt::FaultEvent& e : r.fault_events) {
+    out.kill = e;
+    out.killed = true;
+    out.max_pause_ns = std::max(out.max_pause_ns, e.pause_ns);
+  }
+  for (const rt::RebuildEvent& e : r.rebuild_events) {
+    ++out.rebuild_steps;
+    const std::uint64_t items =
+        e.views_replica + e.views_persist + e.views_cold + e.resyncs;
+    out.max_step_items = std::max(out.max_step_items, items);
+    out.max_pause_ns = std::max(out.max_pause_ns, e.pause_ns);
+    if (items > rebuild_batch) out.batches_bounded = false;
+  }
+
+  // Fold the per-(epoch, shard) metric rows into the per-epoch timeline.
+  const common::MetricSeries& series = r.telemetry->series;
+  const std::size_t c_requests = ColumnIndex(series, "requests");
+  const std::size_t c_rebuilt = ColumnIndex(series, "views_rebuilt");
+  const std::size_t c_lag = ColumnIndex(series, "repl_lag");
+  for (const common::MetricSeries::Row& row : series.rows()) {
+    EpochRow& e = out.timeline[row.epoch];
+    const auto requests = static_cast<std::uint64_t>(row.values[c_requests]);
+    e.requests += requests;
+    if (!sc.kill || row.shard != victim) e.healthy_requests += requests;
+    e.views_rebuilt += static_cast<std::uint64_t>(row.values[c_rebuilt]);
+    e.repl_lag += static_cast<std::uint64_t>(row.values[c_lag]);
+    if (requests > 0) out.last_log_epoch = std::max(out.last_log_epoch,
+                                                    row.epoch);
+  }
+
+  // Graceful degradation: every post-kill epoch that still has log traffic
+  // anywhere in the run must keep executing requests — the rebuild never
+  // pauses the healthy shards for more than its bounded boundary step.
+  if (sc.kill) {
+    for (const auto& [epoch, row] : out.timeline) {
+      if (epoch < kill_epoch || epoch > out.last_log_epoch) continue;
+      if (row.requests == 0) out.no_stall = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::ApplySmoke(args);
+  const auto g = bench::MakeGraph(args.graph, args);
+
+  wl::SyntheticLogConfig log_config;
+  log_config.days = args.days;
+  log_config.seed = args.seed + 1;
+  const wl::RequestLog log = GenerateSyntheticLog(g, log_config);
+
+  // Kill at one-third of the log, so the rebuild and its aftermath are
+  // observable; small-enough batches that the rebuild spans several epochs.
+  const std::uint64_t epochs =
+      std::max<std::uint64_t>(3, log.duration / kSecondsPerHour);
+  const std::uint64_t kill_epoch = std::max<std::uint64_t>(2, epochs / 3);
+  const std::uint32_t victim = 1;
+  const std::uint32_t rebuild_batch =
+      std::max<std::uint32_t>(16, g.num_users() / kShards / 4);
+
+  std::printf("== Shard kill under replication: failover, bounded rebuild, "
+              "write-loss accounting (scale=%g, days=%g) ==\n",
+              args.scale, args.days);
+  std::printf("shards=%u victim=%u kill_epoch=%llu rebuild_batch=%u "
+              "async_max_lag=%u\n",
+              kShards, victim, static_cast<unsigned long long>(kill_epoch),
+              rebuild_batch, kAsyncMaxLag);
+  bench::PrintWorkloadSummary(g, log);
+
+  const Scenario scenarios[] = {
+      {"baseline", false, true, rt::ReplicationMode::kSync, false},
+      {"kill-sync", true, true, rt::ReplicationMode::kSync, false},
+      {"kill-async", true, true, rt::ReplicationMode::kAsync, false},
+      {"kill-norepl", true, false, rt::ReplicationMode::kSync, true},
+  };
+
+  common::TablePrinter runs({"scenario", "ops/sec", "p50_us", "p99_us",
+                             "views(repl/pers/cold)", "writes_lost",
+                             "rebuild_steps", "max_step", "max_pause_us",
+                             "no_stall", "conserved", "ok"});
+  std::string csv = kCsvHeader;
+  bool all_ok = true;
+  std::vector<Outcome> outcomes;
+
+  for (const Scenario& sc : scenarios) {
+    const bool telemetry_export = bench::WantRunTelemetry(args) &&
+                                  std::string_view(sc.name) == "kill-sync";
+    Outcome out = RunScenario(g, log, args, sc, kill_epoch, victim,
+                              rebuild_batch, telemetry_export);
+    const rt::RuntimeResult& r = out.result;
+
+    bool ok = out.conserved && out.batches_bounded && out.no_stall;
+    if (sc.kill) {
+      ok = ok && out.killed;
+      // Every lost view must be covered by the scenario's recovery source,
+      // and the write-loss verdict must match the mode's contract exactly.
+      if (sc.replication && sc.mode == rt::ReplicationMode::kSync) {
+        ok = ok && out.kill.writes_lost == 0 &&
+             out.kill.views_replica == out.kill.views_owned;
+      } else if (sc.replication) {
+        ok = ok && out.kill.writes_unreplicated <= kAsyncMaxLag &&
+             out.kill.writes_lost == out.kill.writes_unreplicated;
+      } else {
+        ok = ok && out.kill.views_persist == out.kill.views_owned &&
+             out.kill.writes_lost == 0;
+      }
+      ok = ok && !r.rebuild_events.empty() &&
+           r.rebuild_events.back().completed;
+      for (const rt::ShardHealth h : r.shard_health) {
+        ok = ok && h == rt::ShardHealth::kUp;
+      }
+    } else {
+      ok = ok && r.fault_events.empty() && r.writes_lost_total == 0;
+    }
+    all_ok = all_ok && ok;
+
+    const std::string views = std::to_string(out.kill.views_replica) + "/" +
+                              std::to_string(out.kill.views_persist) + "/" +
+                              std::to_string(out.kill.views_cold);
+    runs.AddRow({sc.name, common::TablePrinter::Fmt(r.ops_per_sec, 0),
+                 common::TablePrinter::Fmt(r.completion_percentiles.p50_us, 1),
+                 common::TablePrinter::Fmt(r.completion_percentiles.p99_us, 1),
+                 sc.kill ? views : "-",
+                 common::TablePrinter::Fmt(out.kill.writes_lost),
+                 common::TablePrinter::Fmt(out.rebuild_steps),
+                 common::TablePrinter::Fmt(out.max_step_items),
+                 common::TablePrinter::Fmt(
+                     static_cast<double>(out.max_pause_ns) / 1000.0, 1),
+                 sc.kill ? (out.no_stall ? "yes" : "NO") : "-",
+                 out.conserved ? "yes" : "NO", ok ? "yes" : "NO"});
+
+    csv.append("run,").append(sc.name).append(",,,,,,");
+    csv.append(std::to_string(out.kill.views_owned)).append(",");
+    csv.append(std::to_string(out.kill.views_replica)).append(",");
+    csv.append(std::to_string(out.kill.views_persist)).append(",");
+    csv.append(std::to_string(out.kill.views_cold)).append(",");
+    csv.append(std::to_string(out.kill.writes_unreplicated)).append(",");
+    csv.append(std::to_string(out.kill.writes_lost)).append(",");
+    csv.append(std::to_string(out.rebuild_steps)).append(",");
+    csv.append(std::to_string(out.max_step_items)).append(",");
+    csv.append(common::TablePrinter::Fmt(
+                   static_cast<double>(out.max_pause_ns) / 1000.0, 1))
+        .append(",");
+    csv.append(common::TablePrinter::Fmt(r.ops_per_sec, 1)).append(",");
+    csv.append(common::TablePrinter::Fmt(r.completion_percentiles.p50_us, 1))
+        .append(",");
+    csv.append(common::TablePrinter::Fmt(r.completion_percentiles.p99_us, 1))
+        .append(",");
+    csv.append(out.conserved ? "yes" : "no").append(",");
+    csv.append(ok ? "yes" : "no").append("\n");
+
+    for (const auto& [epoch, row] : out.timeline) {
+      csv.append("epoch,").append(sc.name).append(",");
+      csv.append(std::to_string(epoch)).append(",");
+      csv.append(std::to_string(row.requests)).append(",");
+      csv.append(std::to_string(row.healthy_requests)).append(",");
+      csv.append(std::to_string(row.views_rebuilt)).append(",");
+      csv.append(std::to_string(row.repl_lag)).append(",,,,,,,,,,,,,,\n");
+    }
+    outcomes.push_back(std::move(out));
+  }
+
+  runs.Print();
+
+  // Per-epoch timeline around the kill for the killed scenarios: healthy
+  // shards keep serving through the failure while the rebuild progresses
+  // in bounded slices.
+  std::printf("per-epoch timeline around the kill (epoch %llu):\n",
+              static_cast<unsigned long long>(kill_epoch));
+  common::TablePrinter timeline({"scenario", "epoch", "requests",
+                                 "healthy_req", "views_rebuilt", "repl_lag"});
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    if (!sc.kill) continue;
+    const Outcome& out = outcomes[i];
+    const std::uint64_t lo = kill_epoch > 2 ? kill_epoch - 2 : 0;
+    for (const auto& [epoch, row] : out.timeline) {
+      if (epoch < lo || epoch > kill_epoch + 5) continue;
+      timeline.AddRow({sc.name, common::TablePrinter::Fmt(epoch),
+                       common::TablePrinter::Fmt(row.requests),
+                       common::TablePrinter::Fmt(row.healthy_requests),
+                       common::TablePrinter::Fmt(row.views_rebuilt),
+                       common::TablePrinter::Fmt(row.repl_lag)});
+    }
+  }
+  timeline.Print();
+
+  std::printf("verdict: %s\n", all_ok ? "PASS" : "FAIL");
+  bench::SaveCsv(args, "runtime_faults", csv);
+  return all_ok ? 0 : 1;
+}

@@ -1,61 +1,120 @@
-// Crash recovery walkthrough (§2.2/§3.3): posts are durable in the
-// persistent store before they hit the cache, so losing a cache server
-// never loses data — sole views are rebuilt from the store, and views that
-// were hot enough to have replicas keep serving without a rebuild.
+// Crash recovery walkthrough (§2.2/§3.3), runtime edition: a whole worker
+// shard dies mid-run and nothing is lost. Posts are durable in the
+// persistent store before they hit the cache, and the runtime replicates
+// every shard's writes to a designated backup (rt::Replicator, sync mode) —
+// so when rt::FaultInjector kills a shard at an epoch boundary, reads fail
+// over to the backup immediately, the healthy shards never pause, and the
+// lost views rebuild online in bounded batches (docs/fault_tolerance.md).
 //
 //   ./crash_recovery
 #include <cstdio>
 
-#include "core/client.h"
-#include "core/engine.h"
-#include "graph/social_graph.h"
-#include "net/topology.h"
+#include "graph/generator.h"
 #include "persist/persistent_store.h"
-#include "placement/placement.h"
+#include "runtime/fault_injector.h"
+#include "runtime/sharded_runtime.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
 
 using namespace dynasore;
 
 int main() {
-  const auto topo = net::Topology::MakeTree(net::TreeConfig{2, 2, 3});
+  // A small community graph and half a day of traffic.
+  graph::GraphGenConfig graph_config;
+  graph_config.num_users = 600;
+  graph_config.links_per_user = 8.0;
+  graph_config.seed = 7;
+  const auto g = GenerateCommunityGraph(graph_config);
 
-  // Four users; user 3 follows everyone.
-  const std::vector<graph::Edge> follows{{3, 0}, {3, 1}, {3, 2}};
-  const auto graph =
-      graph::SocialGraph::FromEdges(4, follows, /*directed=*/true);
+  wl::SyntheticLogConfig log_config;
+  log_config.days = 0.5;
+  log_config.seed = 11;
+  const wl::RequestLog log = GenerateSyntheticLog(g, log_config);
 
-  place::PlacementResult placement;
-  placement.replicas = {{0}, {0}, {4}, {6}};  // two views on server 0
-  placement.master = {0, 0, 4, 6};
+  // Every post is persisted before the cache sees it (payload mode), and
+  // the runtime mirrors each shard's writes to backup shard (s + 1) % n.
+  sim::ExperimentConfig config;
+  config.extra_memory_pct = 50;
+  config.seed = 5;
+  config.engine.store.payload_mode = true;
+  const net::Topology topo = sim::MakeTopology(config.cluster);
+  core::EngineConfig engine = config.engine;
+  engine.store.capacity_views = sim::CapacityPerServer(
+      g.num_users(), topo.num_servers(), config.extra_memory_pct);
+  const place::PlacementResult placement = sim::MakeInitialPlacement(
+      g, topo, engine.store.capacity_views, config);
 
-  core::EngineConfig config;
-  config.store.capacity_views = 8;
-  config.store.payload_mode = true;
-  core::Engine engine(topo, placement, config);
+  rt::RuntimeConfig rt_config;
+  rt_config.num_shards = 3;
+  rt_config.replication.enabled = true;
+  rt_config.replication.mode = rt::ReplicationMode::kSync;
+  rt_config.replication.rebuild_batch = 48;  // views restored per boundary
+  rt::ShardedRuntime runtime(g, topo, placement, engine, rt_config);
+
   persist::PersistentStore persist;
-  core::Client client(engine, persist, graph);
-
-  client.Post(0, "only copy lives on server 0", 10);
-  client.Post(1, "me too", 20);
-  client.Post(2, "safely elsewhere", 30);
-
-  // Remote reads make view 0 hot enough to be replicated off server 0.
-  for (SimTime t = 100; t < 3000; t += 100) client.ReadFeed(3, t);
-  std::printf("before crash: view0 replicas=%u view1 replicas=%u\n",
-              engine.ReplicaCount(0), engine.ReplicaCount(1));
-
-  std::printf("*** server 0 crashes ***\n");
-  engine.CrashServer(0, 5000);
-
-  std::printf("after crash:  view0 replicas=%u view1 replicas=%u "
-              "(rebuilds from persistent store: %llu)\n",
-              engine.ReplicaCount(0), engine.ReplicaCount(1),
-              static_cast<unsigned long long>(
-                  engine.counters().crash_rebuilds));
-
-  // Nothing was lost: the feed still serves every post.
-  std::printf("user 3's feed after the crash:\n");
-  for (const store::Event& event : client.ReadFeed(3, 6000)) {
-    std::printf("  user %u: %s\n", event.author, event.payload.c_str());
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    persist.Append({u, 0, "first post"});
   }
-  return 0;
+  runtime.AttachPersistentStore(&persist);
+
+  // The deterministic fault plan: shard 1 dies at the boundary of epoch 4.
+  rt::FaultInjector injector;
+  injector.KillShardAt(/*epoch=*/4, /*shard=*/1);
+  runtime.SetFaultInjector(&injector);
+
+  // Watch the health map from the epoch hook (the boundary quiescent
+  // point): UP -> DOWN at the kill, REBUILDING while the window drains,
+  // back to UP when the last batch lands.
+  runtime.SetEpochHook([&runtime](SimTime, std::uint64_t epoch) {
+    std::printf("epoch %2llu  health:", static_cast<unsigned long long>(epoch));
+    for (std::uint32_t s = 0; s < runtime.num_shards(); ++s) {
+      std::printf(" %s", rt::ShardHealthName(runtime.health().state(s)));
+    }
+    std::printf("\n");
+  });
+
+  std::printf("replaying %zu requests across 3 shards; shard 1 dies at "
+              "epoch 4...\n\n", log.requests.size());
+  const rt::RuntimeResult result = runtime.Run(log);
+
+  // The kill's exact accounting: where every lost view recovered from and
+  // how many acknowledged writes were lost (sync replication: zero).
+  std::printf("\n*** the crash, accounted ***\n");
+  for (const rt::FaultEvent& e : result.fault_events) {
+    std::printf("shard %u died owning %llu views: %llu failed over to the "
+                "replica, %llu re-fetched from the persistent store, %llu "
+                "restarted cold; writes lost: %llu\n",
+                e.shard, static_cast<unsigned long long>(e.views_owned),
+                static_cast<unsigned long long>(e.views_replica),
+                static_cast<unsigned long long>(e.views_persist),
+                static_cast<unsigned long long>(e.views_cold),
+                static_cast<unsigned long long>(e.writes_lost));
+  }
+  std::printf("online rebuild: %zu bounded steps\n",
+              result.rebuild_events.size());
+  for (const rt::RebuildEvent& e : result.rebuild_events) {
+    std::printf("  step: %llu from replica, %llu from persist, %llu resyncs, "
+                "%llu still pending%s\n",
+                static_cast<unsigned long long>(e.views_replica),
+                static_cast<unsigned long long>(e.views_persist),
+                static_cast<unsigned long long>(e.resyncs),
+                static_cast<unsigned long long>(e.views_pending),
+                e.completed ? " -- window closed, shard UP" : "");
+  }
+
+  // Nothing was lost and nobody waited: every request executed, and the
+  // run ends with every shard healthy.
+  std::printf("\nrequests: %llu / %llu executed; writes lost: %llu; "
+              "final health:",
+              static_cast<unsigned long long>(result.totals.requests),
+              static_cast<unsigned long long>(result.expected_requests),
+              static_cast<unsigned long long>(result.writes_lost_total));
+  for (const rt::ShardHealth h : result.shard_health) {
+    std::printf(" %s", rt::ShardHealthName(h));
+  }
+  std::printf("\n");
+  return result.totals.requests == result.expected_requests &&
+                 result.writes_lost_total == 0
+             ? 0
+             : 1;
 }

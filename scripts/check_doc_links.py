@@ -19,6 +19,7 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
 REQUIRED_DOCS = [
     "docs/architecture.md",
     "docs/benchmarks.md",
+    "docs/fault_tolerance.md",
     "docs/observability.md",
     "docs/reconfiguration.md",
 ]

@@ -17,8 +17,13 @@ Perfetto / chrome://tracing and internally consistent:
 With --expect-resize it additionally requires the trace to contain at
 least one reconfiguration event (reconfigure / begin_reconfigure /
 step_migration) AND at least one scaler_decision instant — the CI contract
-for the committed flash-crowd trace in results/. Exit code 1 lists every
-violation; used as a CI step after the autoscale smoke run."""
+for the committed flash-crowd trace in results/. With --expect-fault it
+requires the full fault lifecycle instead: a fault instant, a failover
+span, at least one rebuild_step span, and a rebuild_complete instant, in
+cause-before-effect order (first fault <= first failover <=
+last rebuild_complete, with every rebuild_step in between). Exit code 1
+lists every violation; used as a CI step after the autoscale and
+fault-bench smoke runs."""
 import argparse
 import json
 import pathlib
@@ -28,6 +33,7 @@ SPAN = "X"
 INSTANT = "i"
 METADATA = "M"
 RESIZE_NAMES = {"reconfigure", "begin_reconfigure", "step_migration"}
+FAULT_NAMES = {"fault", "failover", "rebuild_step", "rebuild_complete"}
 
 
 def load_events(path, problems):
@@ -123,12 +129,42 @@ def check_resize(real, problems):
                         "in the trace")
 
 
+def check_fault(real, problems):
+    """The fault lifecycle: fault -> failover -> rebuild_step* ->
+    rebuild_complete, present and in cause-before-effect timestamp order."""
+    first = {}
+    last = {}
+    for e in real:
+        name = e["name"]
+        if name in FAULT_NAMES:
+            first.setdefault(name, e["ts"])
+            last[name] = e["ts"]
+    for name in sorted(FAULT_NAMES - first.keys()):
+        problems.append(f"--expect-fault: no {name} event in the trace")
+    if FAULT_NAMES - first.keys():
+        return
+    if first["fault"] > first["failover"]:
+        problems.append("--expect-fault: first failover precedes the first "
+                        f"fault ({first['failover']} < {first['fault']})")
+    if first["failover"] > first["rebuild_step"]:
+        problems.append("--expect-fault: first rebuild_step precedes the "
+                        "first failover "
+                        f"({first['rebuild_step']} < {first['failover']})")
+    if last["rebuild_step"] > last["rebuild_complete"]:
+        problems.append("--expect-fault: rebuild_step after the last "
+                        f"rebuild_complete ({last['rebuild_step']} > "
+                        f"{last['rebuild_complete']})")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace-event JSON to validate")
     parser.add_argument("--expect-resize", action="store_true",
                         help="require reconfiguration + scaler events "
                              "(the flash-crowd autoscale contract)")
+    parser.add_argument("--expect-fault", action="store_true",
+                        help="require the fault -> failover -> rebuild "
+                             "lifecycle (the fault-bench contract)")
     args = parser.parse_args()
 
     problems = []
@@ -137,6 +173,8 @@ def main() -> int:
     by_tid = check_tracks(real, problems)
     if args.expect_resize:
         check_resize(real, problems)
+    if args.expect_fault:
+        check_fault(real, problems)
 
     for line in problems:
         print(line, file=sys.stderr)

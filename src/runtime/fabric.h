@@ -41,11 +41,17 @@ namespace dynasore::rt {
 // owning WireBatch's flat buffer so staging a remote slice never allocates
 // per request.
 struct FlatOp {
+  // flags bit: this write op is a replication record for a designated
+  // backup (rt::Replicator) — the receiver counts it toward repl_applies on
+  // top of the normal apply. Transports never inspect flags.
+  static constexpr std::uint8_t kReplicated = 1u << 0;
+
   std::uint64_t seq = 0;          // global dispatch order
   std::uint64_t dispatch_ns = 0;  // steady-clock stamp at dispatch
   SimTime time = 0;
   UserId user = 0;
   OpType op = OpType::kRead;
+  std::uint8_t flags = 0;
   std::uint32_t target_begin = 0;  // into WireBatch::targets (reads only)
   std::uint32_t target_count = 0;
 };

@@ -1,0 +1,98 @@
+#include "runtime/fault_injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace dynasore::rt {
+
+void FaultInjector::KillShardAt(std::uint64_t epoch, std::uint32_t shard) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kKillShard;
+  spec.epoch = epoch;
+  spec.shard = shard;
+  plan_.push_back(spec);
+}
+
+void FaultInjector::DropChannelAt(std::uint64_t epoch, std::uint32_t src,
+                                  std::uint32_t dst) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kDropChannel;
+  spec.epoch = epoch;
+  spec.shard = src;
+  spec.peer = dst;
+  plan_.push_back(spec);
+}
+
+void FaultInjector::DelayChannelAt(std::uint64_t epoch, std::uint32_t src,
+                                   std::uint32_t dst,
+                                   std::uint32_t delay_epochs) {
+  if (delay_epochs == 0) {
+    throw std::invalid_argument(
+        "FaultInjector::DelayChannelAt: delay_epochs must be at least 1 (a "
+        "0-boundary delay re-injects into the same drain and is a no-op)");
+  }
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kDelayChannel;
+  spec.epoch = epoch;
+  spec.shard = src;
+  spec.peer = dst;
+  spec.delay_epochs = delay_epochs;
+  plan_.push_back(spec);
+}
+
+FaultInjector FaultInjector::RandomKills(std::uint64_t seed,
+                                         std::uint32_t kills,
+                                         std::uint32_t num_shards,
+                                         std::uint64_t min_epoch,
+                                         std::uint64_t max_epoch) {
+  if (num_shards == 0) {
+    throw std::invalid_argument(
+        "FaultInjector::RandomKills: num_shards must be at least 1 (there "
+        "is nothing to kill in an empty shard set)");
+  }
+  if (max_epoch < min_epoch) {
+    throw std::invalid_argument(
+        "FaultInjector::RandomKills: max_epoch must be >= min_epoch (an "
+        "empty epoch window cannot host a kill)");
+  }
+  FaultInjector injector;
+  common::Rng rng(seed);
+  const std::uint64_t span = max_epoch - min_epoch + 1;
+  std::vector<std::uint64_t> used;
+  for (std::uint32_t k = 0; k < kills && used.size() < span; ++k) {
+    // At most one kill per epoch: redraw (bounded by the window size) so
+    // every failure gets its own observable failover boundary.
+    std::uint64_t epoch = min_epoch + rng.NextBounded(span);
+    while (std::find(used.begin(), used.end(), epoch) != used.end()) {
+      epoch = min_epoch + rng.NextBounded(span);
+    }
+    used.push_back(epoch);
+    injector.KillShardAt(epoch,
+                         static_cast<std::uint32_t>(rng.NextBounded(num_shards)));
+  }
+  std::sort(injector.plan_.begin(), injector.plan_.end(),
+            [](const FaultSpec& a, const FaultSpec& b) {
+              return a.epoch < b.epoch;
+            });
+  return injector;
+}
+
+bool FaultInjector::has_channel_faults() const {
+  for (const FaultSpec& spec : plan_) {
+    if (spec.kind != FaultSpec::Kind::kKillShard) return true;
+  }
+  return false;
+}
+
+void FaultInjector::CollectAt(std::uint64_t epoch, bool channel_class,
+                              std::vector<FaultSpec>& out) const {
+  for (const FaultSpec& spec : plan_) {
+    if (spec.epoch != epoch) continue;
+    const bool is_channel = spec.kind != FaultSpec::Kind::kKillShard;
+    if (is_channel == channel_class) out.push_back(spec);
+  }
+}
+
+}  // namespace dynasore::rt

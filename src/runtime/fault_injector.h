@@ -1,0 +1,79 @@
+// rt::FaultInjector — a deterministic, seeded fault plan the runtime
+// executes at epoch boundaries (the SetEpochHook quiescent point, where
+// every worker is parked and every channel drained — the only instants a
+// fault can land without racing live SPSC endpoints).
+//
+// Three fault kinds:
+//   kKillShard    — the shard's engine (all in-memory view state) is lost at
+//                   the boundary of epoch `epoch`; the runtime fails reads
+//                   over to the backup and rebuilds online (see
+//                   docs/fault_tolerance.md).
+//   kDropChannel  — every batch queued on fabric channel (shard -> peer) at
+//                   that boundary is discarded before the drain; the ops are
+//                   counted into the FaultEvent so the loss is exact.
+//   kDelayChannel — the channel's queued batches are held out of the drain
+//                   and re-injected `delay_epochs` boundaries later.
+//
+// Channel faults require DrainPolicy::kEpoch: under kEager workers poll
+// their inbound rings while awaiting the drain task, so the dispatcher
+// cannot take over the consumer endpoint (ShardedRuntime::SetFaultInjector
+// rejects the combination).
+//
+// Determinism: the plan is explicit data — under kEpoch the same plan,
+// seed, and workload reproduce the same kill, the same failover routing,
+// and the same accounting verdict bit for bit. RandomKills derives a plan
+// from a seed via common::Rng for property-style sweeps. The runtime reads
+// the plan but never consumes it, so one injector can drive several runs;
+// epoch indices restart at 0 each Run, so the plan re-fires per run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dynasore::rt {
+
+struct FaultSpec {
+  enum class Kind : std::uint8_t { kKillShard, kDropChannel, kDelayChannel };
+  Kind kind = Kind::kKillShard;
+  std::uint64_t epoch = 0;  // boundary index (epoch_index) the fault fires at
+  std::uint32_t shard = 0;  // kKillShard: victim; channel faults: source
+  std::uint32_t peer = 0;   // channel faults: destination shard
+  std::uint32_t delay_epochs = 0;  // kDelayChannel: boundaries to hold
+};
+
+class FaultInjector {
+ public:
+  // Schedule shard `shard`'s death at the boundary of epoch `epoch`.
+  void KillShardAt(std::uint64_t epoch, std::uint32_t shard);
+  // Discard everything queued on (src -> dst) at that boundary.
+  void DropChannelAt(std::uint64_t epoch, std::uint32_t src, std::uint32_t dst);
+  // Hold (src -> dst)'s queued batches for `delay_epochs` (>= 1) boundaries.
+  // Throws std::invalid_argument for delay_epochs == 0 (that is a no-op
+  // masquerading as a fault).
+  void DelayChannelAt(std::uint64_t epoch, std::uint32_t src,
+                      std::uint32_t dst, std::uint32_t delay_epochs);
+
+  // A seeded plan of `kills` distinct (epoch, shard) kills with epochs drawn
+  // uniformly from [min_epoch, max_epoch] and shards from [0, num_shards):
+  // the property-sweep entry point. Kills are sorted by epoch; at most one
+  // kill per epoch so each failure's failover window is observable.
+  static FaultInjector RandomKills(std::uint64_t seed, std::uint32_t kills,
+                                   std::uint32_t num_shards,
+                                   std::uint64_t min_epoch,
+                                   std::uint64_t max_epoch);
+
+  bool has_channel_faults() const;
+  // Appends the faults of matching kind scheduled for `epoch` to `out`:
+  // channel faults when `channel_class`, kills otherwise. The runtime calls
+  // this at the pre-drain point (channel faults) and the post-drain
+  // quiescent point (kills) of every boundary.
+  void CollectAt(std::uint64_t epoch, bool channel_class,
+                 std::vector<FaultSpec>& out) const;
+
+  const std::vector<FaultSpec>& plan() const { return plan_; }
+
+ private:
+  std::vector<FaultSpec> plan_;
+};
+
+}  // namespace dynasore::rt

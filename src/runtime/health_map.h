@@ -1,0 +1,76 @@
+// rt::HealthMap — per-shard health states, DAOS pool-map style: a compact
+// versioned table of UP / DOWN / REBUILDING entries the router consults
+// when a shard dies. Every state change bumps a monotone version, so a
+// consumer can tell "shard 2 is rebuilding" apart from "shard 2 rebuilt,
+// died again, and is rebuilding a second time" without diffing states.
+//
+// Lifecycle of one failure (see docs/fault_tolerance.md for the full state
+// machine): a kill at an epoch boundary marks the shard kDown, failover
+// re-routing installs and the respawned worker marks it kRebuilding, and
+// the rebuild's final batch marks it kUp again. All transitions happen on
+// the dispatcher thread at quiescent points — the map itself is a plain
+// value with no synchronization, exactly like ShardMap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dynasore::rt {
+
+enum class ShardHealth : std::uint8_t {
+  kUp,          // serving normally
+  kDown,        // killed this boundary; traffic not yet re-routed
+  kRebuilding,  // respawned; views restored in bounded batches per epoch
+};
+
+inline const char* ShardHealthName(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kUp: return "up";
+    case ShardHealth::kDown: return "down";
+    case ShardHealth::kRebuilding: return "rebuilding";
+  }
+  return "unknown";
+}
+
+class HealthMap {
+ public:
+  explicit HealthMap(std::uint32_t num_shards = 0)
+      : states_(num_shards, ShardHealth::kUp) {}
+
+  ShardHealth state(std::uint32_t shard) const { return states_[shard]; }
+  bool IsUp(std::uint32_t shard) const {
+    return states_[shard] == ShardHealth::kUp;
+  }
+  bool AllUp() const {
+    for (ShardHealth h : states_) {
+      if (h != ShardHealth::kUp) return false;
+    }
+    return true;
+  }
+
+  // Sets one shard's state, bumping the version (even for a same-state
+  // write: the caller observed an event worth versioning).
+  void Set(std::uint32_t shard, ShardHealth h) {
+    states_[shard] = h;
+    ++version_;
+  }
+
+  // Reshapes to a reconfigured shard set. Rebuilds are never in flight
+  // across a resize (the runtime serializes them), so new entries start kUp.
+  void Resize(std::uint32_t num_shards) {
+    states_.assign(num_shards, ShardHealth::kUp);
+    ++version_;
+  }
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(states_.size());
+  }
+  // Monotone over the map's lifetime; bumped by every Set/Resize.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::vector<ShardHealth> states_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace dynasore::rt

@@ -1,0 +1,118 @@
+// rt::Replicator — backup assignment and replica-freshness bookkeeping for
+// shard replication. The data plane lives in ShardedRuntime (replication
+// records are ordinary flagged FlatOps riding the fabric; see
+// docs/fault_tolerance.md); this class answers the control-plane questions:
+//
+//   * who backs shard s up?           backup_of(s, k) = (s + k) % n
+//   * which backup can serve s's views after s dies?  FreshBackup —
+//     the first designated backup that is UP in the HealthMap *and* whose
+//     copy is fresh (it has applied every replication record s ever sent).
+//
+// Freshness is tracked per (primary, backup-slot) pair, not per view: a
+// backup either received the primary's full write stream since the pair was
+// last synced or it did not. A pair goes stale when the backup dies (its
+// engine — including its copies of the primary's views — is reset) and
+// fresh again when a rebuild's resync items re-export the primary's views
+// into it. Dispatcher-only, quiescent points, like every control structure.
+//
+// Resize caveat: Rebase() reassigns backups for a new shard count and
+// marks every pair fresh — correct for the payload-coherence configuration
+// (every peer holds every payload) and documented as an approximation
+// otherwise (docs/fault_tolerance.md); ShardedRuntime rejects resizes below
+// factor + 1 shards so an assignment always exists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/health_map.h"
+#include "runtime/runtime_config.h"
+
+namespace dynasore::rt {
+
+class Replicator {
+ public:
+  static constexpr std::uint32_t kNoBackup = ~std::uint32_t{0};
+
+  Replicator(const ReplicationConfig& config, std::uint32_t num_shards)
+      : config_(config), num_shards_(num_shards) {
+    fresh_.assign(static_cast<std::size_t>(num_shards) * config.factor, 1);
+  }
+
+  // Backup slot k (1-based, k <= factor) of `shard`.
+  std::uint32_t backup_of(std::uint32_t shard, std::uint32_t k) const {
+    return (shard + k) % num_shards_;
+  }
+
+  bool IsDesignatedBackup(std::uint32_t primary,
+                          std::uint32_t candidate) const {
+    for (std::uint32_t k = 1; k <= config_.factor; ++k) {
+      if (backup_of(primary, k) == candidate) return true;
+    }
+    return false;
+  }
+
+  // First backup of `shard` that is UP and fresh, or kNoBackup. The
+  // dead shard's views fail over to (and rebuild from) this shard.
+  std::uint32_t FreshBackup(std::uint32_t shard,
+                            const HealthMap& health) const {
+    for (std::uint32_t k = 1; k <= config_.factor; ++k) {
+      const std::uint32_t b = backup_of(shard, k);
+      if (health.IsUp(b) && fresh_[Slot(shard, k)] != 0) return b;
+    }
+    return kNoBackup;
+  }
+
+  bool PairFresh(std::uint32_t primary, std::uint32_t backup) const {
+    for (std::uint32_t k = 1; k <= config_.factor; ++k) {
+      if (backup_of(primary, k) == backup) return fresh_[Slot(primary, k)] != 0;
+    }
+    return false;
+  }
+
+  // The backup's engine was reset (it died): every pair it backs goes stale.
+  void MarkBackupStale(std::uint32_t backup) {
+    for (std::uint32_t p = 0; p < num_shards_; ++p) {
+      for (std::uint32_t k = 1; k <= config_.factor; ++k) {
+        if (backup_of(p, k) == backup) fresh_[Slot(p, k)] = 0;
+      }
+    }
+  }
+
+  // One pair goes stale without the backup dying: a failover diverts the
+  // primary's writes to the *serving* backup only, so every other fresh
+  // backup misses them and is conservatively demoted until a resync.
+  void MarkPairStale(std::uint32_t primary, std::uint32_t backup) {
+    for (std::uint32_t k = 1; k <= config_.factor; ++k) {
+      if (backup_of(primary, k) == backup) fresh_[Slot(primary, k)] = 0;
+    }
+  }
+
+  // A resync re-exported `primary`'s views into `backup`: the pair is
+  // current again (the primary's future writes stream to it as normal).
+  void MarkPairFresh(std::uint32_t primary, std::uint32_t backup) {
+    for (std::uint32_t k = 1; k <= config_.factor; ++k) {
+      if (backup_of(primary, k) == backup) fresh_[Slot(primary, k)] = 1;
+    }
+  }
+
+  // Reassigns backups for a resized shard set (see the resize caveat above).
+  void Rebase(std::uint32_t num_shards) {
+    num_shards_ = num_shards;
+    fresh_.assign(static_cast<std::size_t>(num_shards) * config_.factor, 1);
+  }
+
+  const ReplicationConfig& config() const { return config_; }
+  std::uint32_t num_shards() const { return num_shards_; }
+
+ private:
+  std::size_t Slot(std::uint32_t primary, std::uint32_t k) const {
+    return static_cast<std::size_t>(primary) * config_.factor + (k - 1);
+  }
+
+  ReplicationConfig config_;
+  std::uint32_t num_shards_;
+  std::vector<std::uint8_t> fresh_;  // (primary, slot) -> fresh flag
+};
+
+}  // namespace dynasore::rt

@@ -204,6 +204,81 @@ struct PlacementConfig {
   }
 };
 
+// When a replicated write is considered durable on its backups.
+enum class ReplicationMode : std::uint8_t {
+  // The write's replication record ships with the same epoch's boundary
+  // flush and is applied in that boundary's drain — a write is never
+  // exposed past an epoch boundary without its backups having applied it,
+  // so a kill at any boundary loses zero acknowledged writes.
+  kSync,
+  // Replication records buffer on the primary and ship lazily: each
+  // boundary retains up to async_max_lag of the newest records and ships
+  // the overflow (oldest first). Bounded lag, measured per boundary and
+  // exported as the repl_lag telemetry gauge; a kill loses exactly the
+  // records still buffered (recovered from persist in payload mode).
+  kAsync,
+};
+
+// Shard replication (rt::Replicator): every write executed by shard s is
+// mirrored to its designated backups — backup k of shard s is shard
+// (s + k) % num_shards for k in [1, factor] — over the existing fabric, so
+// a killed shard's views fail over to a fresh backup and rebuild online
+// (see docs/fault_tolerance.md). Off by default: with enabled == false the
+// runtime carries no Replicator, the hot path takes no new branches, and
+// fault-free runs are bit-identical to a build without the subsystem.
+//
+// Payload-mode note: with EngineConfig::store.payload_mode the runtime
+// already fans every write to every peer for cache coherence; replication
+// then just flags the designated backups' copies as replication records
+// (effectively sync — the coherence stream always ships at the boundary,
+// so kAsync buffers nothing and the lag gauge stays 0).
+struct ReplicationConfig {
+  bool enabled = false;
+
+  // See ReplicationMode. Only meaningful when enabled.
+  ReplicationMode mode = ReplicationMode::kSync;
+
+  // Backups per shard. Valid range: [1, num_shards - 1] when enabled — the
+  // cross-field upper bound lives in RuntimeConfig::Validate (shard s's
+  // backups are (s+1 .. s+factor) mod num_shards, so factor >= num_shards
+  // would wrap a shard onto itself).
+  std::uint32_t factor = 1;
+
+  // kAsync: replication records a primary may retain unshipped across an
+  // epoch boundary (per shard). Valid range: >= 1 in async mode (0 retained
+  // records is sync replication — use kSync and say so).
+  std::uint32_t async_max_lag = 256;
+
+  // Views restored per epoch boundary during an online rebuild — the
+  // rebuild-side analogue of migration_batch, bounding each boundary's
+  // quiesced pause to O(rebuild_batch) view imports. Shared by all rebuild
+  // work classes (replica import, persist refresh, backup resync). Also
+  // governs rebuilds after a kill with replication disabled. Valid range:
+  // >= 1 (a zero batch never completes).
+  std::uint32_t rebuild_batch = 256;
+
+  // Checks the ranges above; throws std::invalid_argument naming the
+  // offending field. Called by RuntimeConfig::Validate (which adds the
+  // factor-vs-shard-count cross check).
+  void Validate() const {
+    if (enabled && factor == 0) {
+      throw std::invalid_argument(
+          "ReplicationConfig::factor must be at least 1 when replication is "
+          "enabled (0 backups replicate nothing — disable instead)");
+    }
+    if (enabled && mode == ReplicationMode::kAsync && async_max_lag == 0) {
+      throw std::invalid_argument(
+          "ReplicationConfig::async_max_lag must be at least 1 in async "
+          "mode (a 0-record lag bound is sync replication — use kSync)");
+    }
+    if (rebuild_batch == 0) {
+      throw std::invalid_argument(
+          "ReplicationConfig::rebuild_batch must be at least 1 (a rebuild "
+          "that restores 0 views per boundary never completes)");
+    }
+  }
+};
+
 struct RuntimeConfig {
   // Worker shards, each backed by its own core::Engine. 1 means the
   // single-shard configuration whose counters must match the sequential
@@ -271,6 +346,10 @@ struct RuntimeConfig {
   // hand-off is always a single step. Valid range: any.
   std::uint32_t migration_batch = 0;
 
+  // Shard replication + online rebuild; disabled by default (see
+  // ReplicationConfig above).
+  ReplicationConfig replication;
+
   // Closed-loop reconfiguration policy; disabled by default (see
   // AutoScalerConfig above).
   AutoScalerConfig scaler;
@@ -323,6 +402,14 @@ struct RuntimeConfig {
           "RuntimeConfig::staleness_micros must be <= kMaxStalenessMicros "
           "(2^64/1000): the bound is compared in nanoseconds and larger "
           "values overflow the clock domain");
+    }
+    replication.Validate();
+    if (replication.enabled && replication.factor >= num_shards) {
+      throw std::invalid_argument(
+          "ReplicationConfig::factor must be < RuntimeConfig::num_shards: "
+          "shard s's backups are (s+1 .. s+factor) mod num_shards, so a "
+          "factor at or above the shard count would wrap a shard onto "
+          "itself as its own backup");
     }
     scaler.Validate();
     telemetry.Validate();

@@ -116,6 +116,10 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
     shards_.back()->outbox.resize(n);
   }
   InstallMaintenanceOwners();
+  health_ = HealthMap(n);
+  if (config_.replication.enabled) {
+    replicator_ = std::make_unique<Replicator>(config_.replication, n);
+  }
   if (config_.scaler.enabled) {
     scaler_ = std::make_unique<AutoScaler>(config_.scaler);
   }
@@ -252,6 +256,14 @@ void ShardedRuntime::Reconfigure(std::uint32_t new_shard_count) {
     throw std::invalid_argument(
         "ShardedRuntime::Reconfigure: new_shard_count must be at least 1 (0 "
         "shards cannot own the id space)");
+  }
+  if (replicator_ != nullptr &&
+      new_shard_count <= config_.replication.factor) {
+    throw std::invalid_argument(
+        "ShardedRuntime::Reconfigure: new_shard_count must exceed "
+        "ReplicationConfig::factor — every shard needs `factor` distinct "
+        "backups, so the shard count can never drop to factor or below "
+        "while replication is enabled");
   }
   std::lock_guard lock(reconfig_mutex_);
   if (running_) {
@@ -397,6 +409,12 @@ void ShardedRuntime::ApplyReconfigure(std::uint32_t new_count, bool threaded,
     throw;
   }
   WireTelemetryTracks();
+  // Rewire the fault-tolerance control plane to the new shard set: all-UP
+  // and (for the replicator) all-fresh — the documented resize
+  // approximation, exact under payload coherence where every peer holds
+  // every payload (docs/fault_tolerance.md).
+  health_.Resize(new_count);
+  if (replicator_ != nullptr) replicator_->Rebase(new_count);
   if (threaded) {
     std::vector<std::uint32_t> spawned;
     for (std::uint32_t s = old_n; s < new_count; ++s) {
@@ -512,6 +530,11 @@ void ShardedRuntime::BeginReconfigure(std::uint32_t new_count, bool threaded,
   map_ = ShardMap::Transition(migration_->target, live, migration_->ledger, 0);
   InstallMaintenanceOwners();
   WireTelemetryTracks();
+  // The window's live domain is the larger shard set; backups reassign over
+  // it for the window's duration (all-UP, all-fresh — see the resize note
+  // in ApplyReconfigure).
+  health_.Resize(live);
+  if (replicator_ != nullptr) replicator_->Rebase(live);
 
   const std::uint64_t migrated = MigrateNextBatch(batch);
   const std::uint64_t pending =
@@ -601,6 +624,8 @@ void ShardedRuntime::CompleteMigration() {
       throw;
     }
   }
+  health_.Resize(new_count);
+  if (replicator_ != nullptr) replicator_->Rebase(new_count);
   // No baseline clear here, unlike ApplyReconfigure: a split window's
   // completion leaves the shard set exactly as it has been since the
   // window opened (so the boundary-maintained baseline is still a valid
@@ -669,7 +694,10 @@ void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
   // observation. Migration windows are skipped too — their boundaries
   // reflect the hand-off, not steady-state load — but the baseline keeps
   // advancing so the first post-window delta still covers one epoch.
-  if (!migration_.has_value() && scaler_baseline_.size() == shards_.size()) {
+  // Rebuild windows are skipped like migration windows: their boundaries
+  // carry failover and restoration work, not steady-state load.
+  if (!migration_.has_value() && rebuilds_.empty() &&
+      scaler_baseline_.size() == shards_.size()) {
     std::vector<ShardStats> deltas;
     deltas.reserve(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -697,10 +725,516 @@ void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
       e.label = obs.reason;
       telemetry_->dispatcher_track()->Emit(e);
     }
-    if (target != 0) Reconfigure(target);
+    // The replication floor (factor + 1 shards) binds the scaler too: a
+    // merge request at or below it is dropped rather than thrown — the
+    // policy keeps observing and can still scale back up.
+    if (target != 0 &&
+        (replicator_ == nullptr || target > config_.replication.factor)) {
+      Reconfigure(target);
+    }
   }
   scaler_baseline_.clear();
   for (const auto& shard : shards_) scaler_baseline_.push_back(shard->stats);
+}
+
+// ----- Fault injection, failover, and online rebuild -----
+
+void ShardedRuntime::SetFaultInjector(const FaultInjector* injector) {
+  if (injector != nullptr && injector->has_channel_faults() &&
+      config_.drain != DrainPolicy::kEpoch) {
+    throw std::invalid_argument(
+        "ShardedRuntime::SetFaultInjector: channel drop/delay faults "
+        "require DrainPolicy::kEpoch — only the epoch boundary's pre-drain "
+        "point lets the dispatcher briefly own both endpoints of a channel "
+        "(under kEager, workers poll their inbound rings while awaiting "
+        "the drain)");
+  }
+  injector_ = injector;
+}
+
+void ShardedRuntime::FoldEngineAggregates(const Shard& shard) {
+  retired_.counters += shard.engine->counters();
+  const net::TrafficRecorder& traffic = shard.engine->traffic();
+  for (int tier = 0; tier < net::kNumTiers; ++tier) {
+    const auto t = static_cast<net::Tier>(tier);
+    retired_.traffic_app[tier] += traffic.TierTotal(t, net::MsgClass::kApp);
+    retired_.traffic_sys[tier] += traffic.TierTotal(t, net::MsgClass::kSystem);
+  }
+}
+
+void ShardedRuntime::AppendFaultEvent(FaultEvent e, std::uint64_t start_ns) {
+  e.sequence = next_fault_sequence_++;
+  fault_events_.push_back(e);
+  if (telemetry_ != nullptr) {
+    static constexpr const char* kKindNames[] = {"kill_shard", "drop_channel",
+                                                 "delay_channel"};
+    TraceEvent t;
+    t.type = TraceEventType::kFault;
+    t.ts_ns = start_ns;
+    t.epoch = boundary_epoch_index_;
+    t.u0 = static_cast<std::uint64_t>(e.kind);
+    t.u1 = e.shard;
+    t.u2 = e.peer;
+    t.u3 = e.remote_ops_dropped + e.remote_ops_delayed;
+    t.u4 = e.writes_lost;
+    t.u5 = e.sequence;
+    t.label = kKindNames[static_cast<std::size_t>(e.kind)];
+    telemetry_->dispatcher_track()->Emit(t);
+  }
+}
+
+void ShardedRuntime::AppendRebuildEvent(RebuildEvent e,
+                                        std::uint64_t start_ns) {
+  e.sequence = next_fault_sequence_++;
+  rebuild_events_.push_back(e);
+  if (telemetry_ != nullptr) {
+    TraceEvent t;
+    t.type = TraceEventType::kRebuildStep;
+    t.ts_ns = start_ns;
+    t.dur_ns = e.pause_ns;
+    t.epoch = boundary_epoch_index_;
+    t.u0 = e.shard;
+    t.u1 = e.views_replica;
+    t.u2 = e.views_persist + e.views_cold;
+    t.u3 = e.resyncs;
+    t.u4 = e.views_pending;
+    t.u5 = e.sequence;
+    telemetry_->dispatcher_track()->Emit(t);
+  }
+}
+
+void ShardedRuntime::ApplyChannelFaultsAtBoundary(std::uint64_t epoch_index,
+                                                  SimTime epoch_end) {
+  if (delayed_.empty() && injector_ == nullptr) return;
+  // Re-inject matured delayed batches first, so a drop firing at this same
+  // boundary also covers them (they are back on the channel when it fires).
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->release_epoch > epoch_index) {
+      ++it;
+      continue;
+    }
+    if (it->src >= fabric_->num_shards() || it->dst >= fabric_->num_shards()) {
+      // A resize shrank the plane below the channel's endpoints while the
+      // batch was held back: account it as dropped, never lose it silently.
+      FaultEvent event;
+      event.epoch_end = epoch_end;
+      event.kind = FaultSpec::Kind::kDropChannel;
+      event.shard = it->src;
+      event.peer = it->dst;
+      for (const FlatOp& op : it->batch.ops) {
+        ++event.remote_ops_dropped;
+        if ((op.flags & FlatOp::kReplicated) != 0) {
+          ++event.repl_records_dropped;
+        }
+      }
+      AppendFaultEvent(event, NowNs());
+      it = delayed_.erase(it);
+      continue;
+    }
+    if (fabric_->TrySend(it->src, it->dst, it->batch)) {
+      it = delayed_.erase(it);
+    } else {
+      ++it;  // channel full this boundary; retry at the next one
+    }
+  }
+  if (injector_ == nullptr) return;
+  std::vector<FaultSpec> faults;
+  injector_->CollectAt(epoch_index, /*channel_class=*/true, faults);
+  for (const FaultSpec& f : faults) {
+    if (f.shard >= fabric_->num_shards() || f.peer >= fabric_->num_shards() ||
+        f.shard == f.peer) {
+      continue;  // no such channel (resized away, or a self-loop)
+    }
+    const std::uint64_t t0 = NowNs();
+    std::vector<WireBatch> claimed;
+    fabric_->DrainChannel(f.shard, f.peer, claimed,
+                          std::numeric_limits<std::size_t>::max());
+    FaultEvent event;
+    event.epoch_end = epoch_end;
+    event.kind = f.kind;
+    event.shard = f.shard;
+    event.peer = f.peer;
+    if (f.kind == FaultSpec::Kind::kDropChannel) {
+      for (const WireBatch& b : claimed) {
+        for (const FlatOp& op : b.ops) {
+          ++event.remote_ops_dropped;
+          if ((op.flags & FlatOp::kReplicated) != 0) {
+            ++event.repl_records_dropped;
+          }
+        }
+      }
+    } else {
+      event.delay_epochs = f.delay_epochs;
+      for (WireBatch& b : claimed) {
+        event.remote_ops_delayed += b.ops.size();
+        delayed_.push_back(DelayedBatch{f.shard, f.peer,
+                                        epoch_index + f.delay_epochs,
+                                        std::move(b)});
+      }
+    }
+    event.pause_ns = NowNs() - t0;
+    AppendFaultEvent(event, t0);
+  }
+}
+
+void ShardedRuntime::ApplyScheduledKills(std::uint64_t epoch_index) {
+  if (injector_ == nullptr) return;
+  std::vector<FaultSpec> kills;
+  injector_->CollectAt(epoch_index, /*channel_class=*/false, kills);
+  for (const FaultSpec& f : kills) {
+    // Rebuild and migration never interleave: a kill landing inside an open
+    // migration window force-finishes the window first (one step — the
+    // serialization of topology changes, DAOS pool-map style).
+    if (migration_.has_value()) FinishMigrationNow();
+    if (f.shard >= shards_.size()) continue;  // retired by a resize: no-op
+    KillShardAtBoundary(f.shard, boundary_epoch_end_);
+  }
+}
+
+void ShardedRuntime::KillShard(std::uint32_t shard) {
+  if (migration_.has_value()) FinishMigrationNow();
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedRuntime::KillShard: no such shard — the id is outside the "
+        "live shard set (it may have been retired by a resize, including "
+        "the migration window this kill just force-finished)");
+  }
+  KillShardAtBoundary(shard, running_ ? boundary_epoch_end_ : 0);
+  // Between runs there are no boundaries to ride: complete the rebuild now,
+  // still batch by batch so every step stays bounded and reported.
+  if (!running_) {
+    while (!rebuilds_.empty()) StepRebuilds(0);
+  }
+}
+
+void ShardedRuntime::KillShardAtBoundary(std::uint32_t s, SimTime epoch_end) {
+  const std::uint64_t t0 = NowNs();
+  Shard& shard = *shards_[s];
+  engines_pristine_ = false;
+
+  FaultEvent event;
+  event.epoch_end = epoch_end;
+  event.kind = FaultSpec::Kind::kKillShard;
+  event.shard = s;
+
+  // The async records the dying primary buffered but never shipped are the
+  // kill's write loss; under payload coherence with a persist store
+  // attached, every lost record's payload is re-fetchable, so those count
+  // as recovered. Sync mode never buffers — an acknowledged write's
+  // replication records were applied by the boundary that acknowledged it,
+  // so writes_lost is 0 by construction.
+  const bool persist_payload =
+      persist_ != nullptr && engine_config_.store.payload_mode;
+  event.writes_unreplicated = shard.repl_pending.size();
+  event.writes_recovered = persist_payload ? event.writes_unreplicated : 0;
+  event.writes_lost = event.writes_unreplicated - event.writes_recovered;
+  shard.repl_pending.clear();
+
+  // Double-fault handling against every other open window: a window for s
+  // itself restarts from scratch (the re-kill resets the engine again, so
+  // partial progress is void), and items in other windows sourced from (or
+  // destined to) s reclassify — s's copies are gone.
+  for (auto it = rebuilds_.begin(); it != rebuilds_.end();) {
+    if (it->shard == s) {
+      it = rebuilds_.erase(it);
+      continue;
+    }
+    for (std::size_t i = it->next; i < it->items.size(); ++i) {
+      RebuildItem& item = it->items[i];
+      if (item.peer != s) continue;
+      switch (item.cls) {
+        case RebuildItem::Cls::kReplica:
+          // The serving backup died under the window: fall back to persist
+          // (or cold) recovery on the rebuilding shard itself, and stop
+          // diverting the view (ReinstallRouteOverrides below).
+          item.cls = persist_payload ? RebuildItem::Cls::kPersist
+                                     : RebuildItem::Cls::kCold;
+          item.peer = it->shard;
+          break;
+        case RebuildItem::Cls::kResyncIn:
+        case RebuildItem::Cls::kResyncOut:
+          // The resync partner is gone; the pair stays conservatively
+          // stale (the mark below is purged with it).
+          item.cls = RebuildItem::Cls::kSkip;
+          break;
+        default:
+          break;
+      }
+    }
+    auto& marks = it->fresh_on_complete;
+    marks.erase(std::remove_if(marks.begin(), marks.end(),
+                               [s](const std::pair<std::uint32_t,
+                                                   std::uint32_t>& pair) {
+                                 return pair.first == s || pair.second == s;
+                               }),
+                marks.end());
+    ++it;
+  }
+
+  health_.Set(s, ShardHealth::kDown);
+
+  // Pick the failover source and demote the pairs the failover invalidates
+  // — all before MarkBackupStale flips what s itself backed.
+  const std::uint32_t n = map_.num_shards();
+  std::uint32_t fresh_backup = Replicator::kNoBackup;
+  std::vector<std::uint32_t> resync_out;  // stale-but-UP designated backups
+  if (replicator_ != nullptr) {
+    fresh_backup = replicator_->FreshBackup(s, health_);
+    for (std::uint32_t k = 1; k <= replicator_->config().factor; ++k) {
+      const std::uint32_t b = replicator_->backup_of(s, k);
+      if (b == s || !health_.IsUp(b)) continue;
+      if (b == fresh_backup) continue;  // serves the diverted writes itself
+      // Every other UP backup misses the writes diverted to the serving
+      // one (and may have been stale already): demote and queue a resync.
+      replicator_->MarkPairStale(s, b);
+      resync_out.push_back(b);
+    }
+    replicator_->MarkBackupStale(s);  // everything s backed died with it
+  }
+
+  // Classify the dead shard's owned views by recovery source, in ascending
+  // view id (the deterministic rebuild order). Own views first, then the
+  // resync items, so re-exports always ship post-restoration state.
+  RebuildWindow window;
+  window.shard = s;
+  std::vector<ViewId> own_views;
+  const ShardMap pure(n, graph_->num_users(), config_.sharding);
+  for (ViewId v = 0; v < graph_->num_users(); ++v) {
+    if (pure.shard_of(v) != s) continue;
+    own_views.push_back(v);
+    ++event.views_owned;
+    RebuildItem item;
+    item.view = v;
+    if (fresh_backup != Replicator::kNoBackup) {
+      item.cls = RebuildItem::Cls::kReplica;
+      item.peer = fresh_backup;
+      ++event.views_replica;
+    } else if (persist_payload) {
+      item.cls = RebuildItem::Cls::kPersist;
+      item.peer = s;
+      ++event.views_persist;
+    } else {
+      item.cls = RebuildItem::Cls::kCold;
+      ++event.views_cold;
+    }
+    window.items.push_back(item);
+  }
+  for (std::uint32_t b : resync_out) {
+    for (ViewId v : own_views) {
+      RebuildItem item;
+      item.cls = RebuildItem::Cls::kResyncOut;
+      item.view = v;
+      item.peer = b;
+      window.items.push_back(item);
+    }
+    window.fresh_on_complete.emplace_back(s, b);
+  }
+  if (replicator_ != nullptr) {
+    // s's fresh engine holds none of the state s backed for its primaries;
+    // re-import it so those pairs can serve a later failover again.
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (p == s || !health_.IsUp(p)) continue;
+      if (!replicator_->IsDesignatedBackup(p, s)) continue;
+      for (ViewId v = 0; v < graph_->num_users(); ++v) {
+        if (pure.shard_of(v) != p) continue;
+        RebuildItem item;
+        item.cls = RebuildItem::Cls::kResyncIn;
+        item.view = v;
+        item.peer = p;
+        window.items.push_back(item);
+      }
+      window.fresh_on_complete.emplace_back(p, s);
+    }
+  }
+
+  // The kill itself: park the worker, fold the dead engine's counters and
+  // traffic into the retained aggregates (the Shard — its stats and
+  // histograms — survives; a full RetireShard fold would double-count at
+  // merge time), and swap in a fresh engine seeded to the current slot.
+  const bool had_worker = shard.worker.joinable();
+  if (had_worker) {
+    RequestShutdown(shard);
+    shard.worker.join();
+  }
+  FoldEngineAggregates(shard);
+  const std::uint32_t slot = shard.engine->current_slot();
+  auto fresh = std::make_unique<core::Engine>(topo_, initial_, engine_config_);
+  if (persist_ != nullptr) fresh->AttachPersistentStore(persist_);
+  fresh->SeedSlot(slot);
+  shard.engine = std::move(fresh);
+  if (had_worker) {
+    Shard* sp = &shard;
+    shard.worker = std::thread([this, sp] { WorkerLoop(*sp); });
+    const std::uint32_t spawned[] = {s};
+    RunPlacementPhase(spawned, /*rebuild_engines=*/false);
+  }
+
+  if (window.items.empty()) {
+    health_.Set(s, ShardHealth::kUp);  // nothing owned, nothing to rebuild
+  } else {
+    health_.Set(s, ShardHealth::kRebuilding);
+    rebuilds_.push_back(std::move(window));
+  }
+  // Divert unrecovered kReplica views to their serving backup; healthy
+  // shards keep serving without a pause. Also re-points the fresh engine's
+  // maintenance predicate even when nothing is diverted.
+  ReinstallRouteOverrides();
+  // The fresh engine's counters restart at zero; rebase the telemetry
+  // baselines (the boundary already sampled this epoch before the kill) so
+  // the per-epoch columns keep reconciling.
+  ResetTelemetryBaselines();
+
+  event.pause_ns = NowNs() - t0;
+  AppendFaultEvent(event, t0);
+  if (telemetry_ != nullptr) {
+    TraceEvent t;
+    t.type = TraceEventType::kFailover;
+    t.ts_ns = t0;
+    t.dur_ns = event.pause_ns;
+    t.epoch = boundary_epoch_index_;
+    t.u0 = s;
+    t.u1 = fresh_backup == Replicator::kNoBackup ? n : fresh_backup;
+    t.u2 = event.views_replica;
+    t.u3 = event.views_persist + event.views_cold;
+    t.label = fresh_backup == Replicator::kNoBackup ? "no_fresh_backup"
+                                                    : "replica_failover";
+    telemetry_->dispatcher_track()->Emit(t);
+  }
+}
+
+bool ShardedRuntime::StepRebuilds(SimTime epoch_end) {
+  if (rebuilds_.empty()) return false;
+  // One budget across all open windows, so the boundary's total restoration
+  // pause stays O(rebuild_batch) no matter how many shards are rebuilding.
+  std::uint64_t budget = config_.replication.rebuild_batch;
+  bool advanced = false;
+  bool routes_changed = false;
+  std::vector<ViewId> views;  // reused per contiguous (class, peer) group
+  for (auto it = rebuilds_.begin(); it != rebuilds_.end() && budget > 0;) {
+    RebuildWindow& w = *it;
+    const std::uint64_t t0 = NowNs();
+    RebuildEvent event;
+    event.epoch_end = epoch_end;
+    event.shard = w.shard;
+    core::Engine& engine = *shards_[w.shard]->engine;
+    while (budget > 0 && w.next < w.items.size()) {
+      const RebuildItem head = w.items[w.next];
+      std::size_t end = w.next + 1;
+      while (end < w.items.size() &&
+             static_cast<std::uint64_t>(end - w.next) < budget &&
+             w.items[end].cls == head.cls && w.items[end].peer == head.peer) {
+        ++end;
+      }
+      const std::uint64_t count = end - w.next;
+      views.clear();
+      for (std::size_t i = w.next; i < end; ++i) {
+        views.push_back(w.items[i].view);
+      }
+      switch (head.cls) {
+        case RebuildItem::Cls::kReplica:
+          engine.ImportViewStates(
+              shards_[head.peer]->engine->ExportViewStates(views));
+          event.views_replica += count;
+          routes_changed = true;  // these views stop being diverted
+          break;
+        case RebuildItem::Cls::kPersist:
+          // Payload-mode ApplyReplicatedWrite re-fetches the view's payload
+          // from the attached store — the rebuild-from-persist primitive.
+          for (ViewId v : views) engine.ApplyReplicatedWrite(v, epoch_end);
+          event.views_persist += count;
+          break;
+        case RebuildItem::Cls::kCold:
+          // The fresh engine already holds the initial-placement state;
+          // the item exists so the loss is classified and counted.
+          event.views_cold += count;
+          break;
+        case RebuildItem::Cls::kResyncIn:
+          engine.ImportViewStates(
+              shards_[head.peer]->engine->ExportViewStates(views));
+          event.resyncs += count;
+          break;
+        case RebuildItem::Cls::kResyncOut:
+          shards_[head.peer]->engine->ImportViewStates(
+              engine.ExportViewStates(views));
+          event.resyncs += count;
+          break;
+        case RebuildItem::Cls::kSkip:
+          break;  // cancelled by a second fault
+      }
+      w.next = end;
+      budget -= count;
+      advanced = true;
+    }
+    shards_[w.shard]->stats.views_rebuilt +=
+        event.views_replica + event.views_persist + event.views_cold;
+    event.views_pending = w.items.size() - w.next;
+    const bool complete = w.next == w.items.size();
+    event.completed = complete;
+    event.pause_ns = NowNs() - t0;
+    AppendRebuildEvent(event, t0);
+    if (complete) {
+      if (replicator_ != nullptr) {
+        for (const auto& [p, b] : w.fresh_on_complete) {
+          replicator_->MarkPairFresh(p, b);
+        }
+      }
+      health_.Set(w.shard, ShardHealth::kUp);
+      if (telemetry_ != nullptr) {
+        TraceEvent t;
+        t.type = TraceEventType::kRebuildComplete;
+        t.ts_ns = NowNs();
+        t.epoch = boundary_epoch_index_;
+        t.u0 = w.shard;
+        telemetry_->dispatcher_track()->Emit(t);
+      }
+      it = rebuilds_.erase(it);
+      routes_changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (routes_changed) ReinstallRouteOverrides();
+  return advanced;
+}
+
+void ShardedRuntime::ReinstallRouteOverrides() {
+  // No migration window can be open while rebuilds exist (kills close one
+  // and new requests stay parked), so the live domain is the pure layout's.
+  const std::uint32_t n = map_.num_shards();
+  auto ledger = std::make_shared<ShardMap::PendingLedger>();
+  for (const RebuildWindow& w : rebuilds_) {
+    for (std::size_t i = w.next; i < w.items.size(); ++i) {
+      const RebuildItem& item = w.items[i];
+      if (item.cls == RebuildItem::Cls::kReplica) {
+        ledger->emplace_back(item.view, item.peer);
+      }
+    }
+  }
+  const ShardMap pure(n, graph_->num_users(), config_.sharding);
+  if (ledger->empty()) {
+    map_ = pure;
+  } else {
+    // Windows partition by owner, so no view appears twice; Transition
+    // wants the ledger ascending by view id.
+    std::sort(ledger->begin(), ledger->end());
+    map_ = ShardMap::Transition(pure, n, std::move(ledger), 0);
+  }
+  InstallMaintenanceOwners();
+}
+
+void ShardedRuntime::AbandonRebuilds() {
+  if (rebuilds_.empty()) return;
+  // Best-effort abort-path cleanup: open windows die with the aborted run —
+  // un-rebuilt views simply stay cold on their fresh engines — and every
+  // shard returns to UP under the pure map.
+  rebuilds_.clear();
+  for (std::uint32_t s = 0; s < health_.num_shards(); ++s) {
+    if (!health_.IsUp(s)) health_.Set(s, ShardHealth::kUp);
+  }
+  if (map_.in_transition() && !migration_.has_value()) {
+    map_ = ShardMap(map_.num_shards(), graph_->num_users(), config_.sharding);
+    InstallMaintenanceOwners();
+  }
 }
 
 // ----- Telemetry plumbing (dispatcher thread, quiescent points) -----
@@ -770,6 +1304,9 @@ void ShardedRuntime::SampleTelemetryEpoch(std::uint64_t epoch_index,
           view_reads >= telem_view_reads_baseline_[s]
               ? view_reads - telem_view_reads_baseline_[s]
               : 0;
+      // Boundary replication lag: async records still buffered after the
+      // epoch's flush — bounded by async_max_lag, 0 in sync/payload modes.
+      sample.repl_lag = shard.repl_pending.size();
       if (const TelemetryTrack* track = shard.telem; track != nullptr) {
         sample.compute_ns = track->compute_ns;
         sample.drain_ns = track->drain_ns;
@@ -808,12 +1345,44 @@ void ShardedRuntime::ExecuteRequest(Shard& shard, const SeqRequest& sr) {
     ++shard.stats.writes;
     engine.ExecuteWrite(request.user, request.time);
     if (replicate_writes_) {
+      // Payload coherence already fans the write to every peer; with
+      // replication on, the copies bound for designated backups double as
+      // the (effectively synchronous) replication stream — flagged so the
+      // receiver counts them toward repl_applies.
       for (std::uint32_t d = 0; d < n; ++d) {
         if (d == shard.id) continue;
+        std::uint8_t flags = 0;
+        if (replicator_ != nullptr &&
+            replicator_->IsDesignatedBackup(shard.id, d)) {
+          flags = FlatOp::kReplicated;
+          ++shard.stats.repl_sent;
+        }
         shard.outbox[d].batch.ops.push_back(FlatOp{
             sr.seq, sr.dispatch_ns, request.time, request.user, OpType::kWrite,
-            0, 0});
+            flags, 0, 0});
         ++shard.stats.messages_sent;
+      }
+    } else if (replicator_ != nullptr) {
+      if (replicator_->config().mode == ReplicationMode::kSync) {
+        // Sync: the record rides this epoch's batch and is applied by its
+        // backups in this epoch's boundary drain — before the boundary the
+        // write's acknowledgement is tied to, so a kill can never lose an
+        // acknowledged write.
+        for (std::uint32_t k = 1; k <= replicator_->config().factor; ++k) {
+          const std::uint32_t d = replicator_->backup_of(shard.id, k);
+          if (d == shard.id) continue;
+          shard.outbox[d].batch.ops.push_back(FlatOp{
+              sr.seq, sr.dispatch_ns, request.time, request.user,
+              OpType::kWrite, FlatOp::kReplicated, 0, 0});
+          ++shard.stats.repl_sent;
+          ++shard.stats.messages_sent;
+        }
+      } else {
+        // Async: buffer locally; FlushForEpoch ships everything beyond the
+        // lag bound at each boundary. Whatever is buffered when this shard
+        // is killed is the kill's write loss.
+        shard.repl_pending.push_back(
+            PendingRepl{sr.seq, sr.dispatch_ns, request.time, request.user});
       }
     }
   } else {
@@ -853,7 +1422,7 @@ void ShardedRuntime::ExecuteRequest(Shard& shard, const SeqRequest& sr) {
           out.last_seq = sr.seq;
           out.batch.ops.push_back(FlatOp{
               sr.seq, sr.dispatch_ns, request.time, request.user,
-              OpType::kRead,
+              OpType::kRead, 0,
               static_cast<std::uint32_t>(out.batch.targets.size()), 0});
           ++shard.stats.messages_sent;
         }
@@ -888,7 +1457,41 @@ bool ShardedRuntime::TryFlushOutboxes(Shard& shard) {
   return all_sent;
 }
 
+// Runs on the worker inside FlushForEpoch (single-writer on the outboxes).
+// The shipped records carry older seqs than any read op already staged for
+// the same destination; ServeBatches sorts by global seq at the drain, so
+// the append order here never changes what the backup observes.
+void ShardedRuntime::ShipAsyncReplication(Shard& shard) {
+  if (shard.repl_pending.empty()) return;
+  const ReplicationConfig& rc = replicator_->config();
+  const std::size_t keep =
+      std::min<std::size_t>(shard.repl_pending.size(), rc.async_max_lag);
+  const std::size_t ship = shard.repl_pending.size() - keep;
+  if (ship == 0) return;
+  for (std::size_t i = 0; i < ship; ++i) {
+    const PendingRepl& r = shard.repl_pending[i];
+    for (std::uint32_t k = 1; k <= rc.factor; ++k) {
+      const std::uint32_t d = replicator_->backup_of(shard.id, k);
+      if (d == shard.id) continue;
+      shard.outbox[d].batch.ops.push_back(FlatOp{
+          r.seq, r.dispatch_ns, r.time, r.user, OpType::kWrite,
+          FlatOp::kReplicated, 0, 0});
+      ++shard.stats.repl_sent;
+      ++shard.stats.messages_sent;
+    }
+  }
+  shard.repl_pending.erase(
+      shard.repl_pending.begin(),
+      shard.repl_pending.begin() + static_cast<std::ptrdiff_t>(ship));
+}
+
 void ShardedRuntime::FlushForEpoch(Shard& shard) {
+  if (replicator_ != nullptr && !replicate_writes_ &&
+      replicator_->config().mode == ReplicationMode::kAsync) {
+    // Oldest-first: the buffer tail (the newest async_max_lag records) is
+    // the bounded replication lag the boundary gauge samples.
+    ShipAsyncReplication(shard);
+  }
   if (TryFlushOutboxes(shard)) return;
   // Only reachable under kEager: the epoch drain empties every channel
   // while producers are quiescent, so under kEpoch a channel never holds
@@ -940,6 +1543,7 @@ std::size_t ShardedRuntime::ServeBatches(Shard& shard) {
     } else {
       engine.ApplyReplicatedWrite(op.user, op.time);
       ++shard.stats.remote_write_applies;
+      if ((op.flags & FlatOp::kReplicated) != 0) ++shard.stats.repl_applies;
     }
     const std::uint64_t now = NowNs();
     shard.remote_latency.Add(now > op.dispatch_ns ? now - op.dispatch_ns : 0);
@@ -1206,6 +1810,9 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
           }
         }
       }
+      for (auto& shard : rt->shards_) shard->repl_pending.clear();
+      rt->delayed_.clear();
+      rt->AbandonRebuilds();
       rt->flash_ = {};
       std::lock_guard lock(rt->reconfig_mutex_);
       rt->running_ = false;
@@ -1337,6 +1944,11 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
         shard->tasks.Push(std::move(task));
       }
       gate_.WaitFor(arrivals);
+      // Pre-drain fault point: every producer has flushed and arrived, no
+      // consumer drains until the kDrainEpoch tasks below are pushed — the
+      // only instant the dispatcher may do channel surgery (kEpoch only,
+      // enforced by SetFaultInjector).
+      ApplyChannelFaultsAtBoundary(epoch_index, epoch_end);
       for (auto& shard : shards_) {
         Task task;
         task.kind = Task::Kind::kDrainEpoch;
@@ -1357,6 +1969,9 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
         pending = false;
         for (auto& shard : shards_) pending |= !TryFlushOutboxes(*shard);
       }
+      // Same pre-drain fault point as the threaded path — the inline
+      // dispatcher owns every endpoint throughout.
+      ApplyChannelFaultsAtBoundary(epoch_index, epoch_end);
       for (auto& shard : shards_) {
         DrainEpoch(*shard);
         RunTicks(*shard, ticks);
@@ -1381,6 +1996,7 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
     // its final epoch's row; boundary_epoch_index_ lets the resize spans
     // emitted below carry this boundary's index.
     boundary_epoch_index_ = epoch_index;
+    boundary_epoch_end_ = epoch_end;
     if (telemetry_ != nullptr) {
       const std::uint64_t now = NowNs();
       TraceEvent e;
@@ -1393,19 +2009,35 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       SampleTelemetryEpoch(epoch_index, epoch_end);
     }
     if (epoch_hook_) epoch_hook_(epoch_end, epoch_index);
+    ApplyScheduledKills(epoch_index);
+    // A kill (from the injector or a hook's KillShard) inside an open
+    // migration window force-finished the window, which can retire shards;
+    // re-derive the dispatch shape before anything below indexes by n.
+    if (n != map_.num_shards()) {
+      n = map_.num_shards();
+      staging.resize(n);
+      backlog_sum.resize(n);
+      backlog_batches.resize(n);
+      ResetTelemetryBaselines();
+    }
     ObserveEpochForScaler(epoch_index);
     ++epoch_index;
     std::uint32_t pending = 0;
     {
       std::lock_guard lock(reconfig_mutex_);
-      if (!migration_.has_value()) {
+      if (!migration_.has_value() && rebuilds_.empty()) {
         pending = pending_shards_;
         pending_shards_ = 0;
       }
       // else: requests stay parked (latest wins) until the window closes —
-      // transitions never nest.
+      // transitions never nest, and resizes never interleave with rebuilds.
     }
-    if (migration_.has_value()) {
+    bool stepped_rebuilds = false;
+    if (!rebuilds_.empty()) {
+      // Bounded restoration work at the boundary the kill landed on and at
+      // every one after, until the windows drain.
+      stepped_rebuilds = StepRebuilds(epoch_end);
+    } else if (migration_.has_value()) {
       StepMigration(epoch_end);
       n = map_.num_shards();
       staging.resize(n);  // all staged batches were flushed pre-boundary
@@ -1424,11 +2056,17 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
     }
     if (telemetry_ != nullptr) epoch_start_ns = NowNs();
 
-    // An open migration window keeps the epoch loop alive past the log so
-    // its remaining batches ride real boundaries (the ledger shrinks every
-    // pass, so this terminates).
+    // An open migration or rebuild window — or a delayed batch still held
+    // back by a channel fault — keeps the epoch loop alive past the log so
+    // its remaining work rides real boundaries (all three shrink every
+    // pass, so this terminates; delayed ops are conserved, never stranded
+    // at run end). A boundary whose rebuild step did work runs one more
+    // epoch even if it emptied the windows, so the step's dispatcher-
+    // written counters land in the telemetry series (samples are taken
+    // before the step runs).
     if (i == requests.size() && next_tick > tick_limit &&
-        !migration_.has_value()) {
+        !migration_.has_value() && rebuilds_.empty() && !stepped_rebuilds &&
+        delayed_.empty()) {
       break;
     }
   }
@@ -1464,6 +2102,16 @@ RuntimeResult ShardedRuntime::MergeResults(double wall_seconds) const {
   RuntimeResult result;
   result.wall_seconds = wall_seconds;
   result.reconfig_events = reconfig_events_;
+  result.fault_events = fault_events_;
+  result.rebuild_events = rebuild_events_;
+  for (const FaultEvent& e : fault_events_) {
+    result.writes_lost_total += e.writes_lost;
+  }
+  for (const auto& shard : shards_) {
+    result.shard_health.push_back(health_.state(shard->id));
+    result.repl_pending_end += shard->repl_pending.size();
+  }
+  result.health_version = health_.version();
   // Shards retired by a merge reconfiguration are part of the aggregate
   // totals (conservation) but have no per-shard row; live shards fold
   // through the same path so the two cannot drift.

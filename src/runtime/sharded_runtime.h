@@ -78,6 +78,9 @@
 #include "placement/placement.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/fabric.h"
+#include "runtime/fault_injector.h"
+#include "runtime/health_map.h"
+#include "runtime/replicator.h"
 #include "runtime/runtime_config.h"
 #include "runtime/shard_map.h"
 #include "workload/flash.h"
@@ -139,6 +142,16 @@ struct ShardStats {
   // parked — same quiescent hand-off as the rest of reconfiguration.
   std::uint64_t task_batches = 0;
   std::uint64_t queue_backlog_sum = 0;
+  // Replication-plane counters (rt::Replicator; all zero when replication
+  // is disabled). repl_sent counts replication records this shard posted to
+  // its designated backups as a primary; repl_applies counts records this
+  // shard applied as a backup (a flagged op also counts toward
+  // remote_write_applies — the drain reconciliation is unchanged).
+  // views_rebuilt counts views restored *into* this shard by online rebuild
+  // steps; like task_batches it is dispatcher-written at quiescent points.
+  std::uint64_t repl_sent = 0;
+  std::uint64_t repl_applies = 0;
+  std::uint64_t views_rebuilt = 0;
 
   ShardStats& operator+=(const ShardStats& o) {
     requests += o.requests;
@@ -152,6 +165,9 @@ struct ShardStats {
     epochs += o.epochs;
     task_batches += o.task_batches;
     queue_backlog_sum += o.queue_backlog_sum;
+    repl_sent += o.repl_sent;
+    repl_applies += o.repl_applies;
+    views_rebuilt += o.views_rebuilt;
     return *this;
   }
 
@@ -175,6 +191,9 @@ struct ShardStats {
     d.epochs = sub(epochs, baseline.epochs);
     d.task_batches = sub(task_batches, baseline.task_batches);
     d.queue_backlog_sum = sub(queue_backlog_sum, baseline.queue_backlog_sum);
+    d.repl_sent = sub(repl_sent, baseline.repl_sent);
+    d.repl_applies = sub(repl_applies, baseline.repl_applies);
+    d.views_rebuilt = sub(views_rebuilt, baseline.views_rebuilt);
     return d;
   }
 };
@@ -223,6 +242,63 @@ struct ReconfigEvent {
   std::uint64_t pause_ns = 0;
 };
 
+// One injected (or KillShard-requested) fault, with its accounting
+// (RuntimeResult::fault_events). Same lifecycle and sequence-id discipline
+// as ReconfigEvent: dispatcher-written at quiescent points, lifetime-
+// accumulated, lifetime-monotone `sequence`.
+//
+// For a kill, the views_* fields partition the views the dead shard owned
+// by recovery source (see docs/fault_tolerance.md): replica — failed over
+// to a fresh backup and re-imported from it; persist — payloads re-fetched
+// from the attached persist::PersistentStore; cold — restarted from the
+// initial placement state. The writes_* fields are the kill's exact write-
+// loss verdict: unreplicated counts async replication records the primary
+// buffered but never shipped (always 0 in sync mode — a write is only
+// acknowledged at a boundary its replication records have already been
+// applied by), recovered the subset whose payloads persist can restore, and
+// lost = unreplicated - recovered.
+struct FaultEvent {
+  std::uint64_t sequence = 0;
+  SimTime epoch_end = 0;  // boundary it fired at; 0 when applied between runs
+  FaultSpec::Kind kind = FaultSpec::Kind::kKillShard;
+  std::uint32_t shard = 0;  // kill victim, or the channel's source shard
+  std::uint32_t peer = 0;   // channel destination (channel faults only)
+  std::uint64_t views_owned = 0;    // kill: views the dead shard owned
+  std::uint64_t views_replica = 0;  // ... recovering from a fresh backup
+  std::uint64_t views_persist = 0;  // ... recovering from the persist store
+  std::uint64_t views_cold = 0;     // ... restarting cold
+  std::uint64_t writes_unreplicated = 0;  // async records lost with the kill
+  std::uint64_t writes_recovered = 0;     // of those, recoverable via persist
+  std::uint64_t writes_lost = 0;          // unreplicated - recovered
+  std::uint64_t remote_ops_dropped = 0;   // kDropChannel: ops discarded
+  std::uint64_t repl_records_dropped = 0; // of those, replication records
+  std::uint64_t remote_ops_delayed = 0;   // kDelayChannel: ops held back
+  std::uint64_t delay_epochs = 0;         // kDelayChannel: boundaries held
+  // Dispatcher wall-clock applying the fault while workers were quiesced
+  // (kill: classification + failover re-route + engine respawn).
+  std::uint64_t pause_ns = 0;
+};
+
+// One bounded rebuild step (RuntimeResult::rebuild_events). A kill opens a
+// rebuild window over the dead shard's views (plus backup resync items);
+// every subsequent epoch boundary processes at most
+// ReplicationConfig::rebuild_batch items across all open windows, so the
+// serving pause per boundary stays O(rebuild_batch) — the step whose
+// views_pending is 0 and completed is true closed the window and returned
+// the shard to UP.
+struct RebuildEvent {
+  std::uint64_t sequence = 0;  // shared sequence space with FaultEvent
+  SimTime epoch_end = 0;
+  std::uint32_t shard = 0;          // the shard being rebuilt
+  std::uint64_t views_replica = 0;  // restored from a backup this step
+  std::uint64_t views_persist = 0;  // restored from the persist store
+  std::uint64_t views_cold = 0;     // restarted cold
+  std::uint64_t resyncs = 0;        // backup resync items processed
+  std::uint64_t views_pending = 0;  // window items still queued after
+  bool completed = false;           // this step closed the window
+  std::uint64_t pause_ns = 0;
+};
+
 struct RuntimeResult {
   // Merged across shard engines. With reconfiguration, counters/totals and
   // the traffic and latency aggregates below also include the retained
@@ -239,6 +315,23 @@ struct RuntimeResult {
   // isolate one run's resizes, keep the events whose sequence exceeds the
   // largest sequence in the previous result (see ReconfigEvent).
   std::vector<ReconfigEvent> reconfig_events;
+  // Faults applied and rebuild steps taken, in order — lifetime-accumulated
+  // with lifetime-monotone sequence ids, same slicing discipline as
+  // reconfig_events (fault and rebuild events share one sequence space, so
+  // a kill and the steps that repair it interleave correctly by sequence).
+  std::vector<FaultEvent> fault_events;
+  std::vector<RebuildEvent> rebuild_events;
+  // Per-shard health at run end plus the health-map version (bumped by
+  // every transition). A completed run reports every shard kUp — the run
+  // loop keeps driving boundaries until open rebuild windows drain.
+  std::vector<ShardHealth> shard_health;
+  std::uint64_t health_version = 0;
+  // Lifetime write-loss total (sum of fault_events[i].writes_lost) and the
+  // async replication records still buffered unshipped at run end (bounded
+  // by ReplicationConfig::async_max_lag per shard; these are *lag*, not
+  // loss — a subsequent kill would convert the victim's share into loss).
+  std::uint64_t writes_lost_total = 0;
+  std::uint64_t repl_pending_end = 0;
   // Merged per-tier message totals across shard engines (net::Tier index).
   std::array<std::uint64_t, net::kNumTiers> traffic_app{};
   std::array<std::uint64_t, net::kNumTiers> traffic_sys{};
@@ -325,6 +418,41 @@ class ShardedRuntime {
       std::function<void(SimTime epoch_end, std::uint64_t epoch_index)>;
   void SetEpochHook(EpochHook hook) { epoch_hook_ = std::move(hook); }
 
+  // ----- Fault injection and shard replication -----
+
+  // Installs a deterministic fault plan (runtime/fault_injector.h): at each
+  // epoch boundary the dispatcher fires the plan's faults for that epoch
+  // index — channel drops/delays at the pre-drain point, kills at the
+  // post-drain quiescent point (after the epoch hook). The runtime does not
+  // take ownership; the injector must outlive it or be cleared with
+  // nullptr. Epoch indices restart at 0 every Run, so the same plan
+  // re-fires each run. Install before Run (not thread-safe against a run in
+  // progress). Throws std::invalid_argument if the plan contains channel
+  // faults under DrainPolicy::kEager — channel surgery needs the kEpoch
+  // boundary, where the dispatcher briefly owns every channel endpoint
+  // (under kEager, workers poll their inbound rings while awaiting the
+  // drain).
+  void SetFaultInjector(const FaultInjector* injector);
+
+  // Kills shard `shard` now: its engine (all in-memory view state) is
+  // destroyed and replaced by a fresh one, its worker restarted, reads
+  // failed over to a fresh backup where replication provides one, and an
+  // online rebuild window opened that restores the lost views in bounded
+  // batches at subsequent boundaries (docs/fault_tolerance.md). Dispatcher
+  // context only: call from an epoch hook (the boundary quiescent point) or
+  // between runs — between runs the rebuild completes immediately, batch by
+  // batch. A kill while an incremental migration window is open first
+  // force-finishes the migration (rebuild and migration never interleave);
+  // if that completion retires the victim shard id, throws
+  // std::invalid_argument like any other out-of-range id.
+  void KillShard(std::uint32_t shard);
+
+  // Per-shard health (UP / DOWN / REBUILDING), versioned. Same
+  // (non-)thread-safety as the topology accessors below.
+  const HealthMap& health() const { return health_; }
+  // The replication control plane, or nullptr when replication is disabled.
+  const Replicator* replicator() const { return replicator_.get(); }
+
   // Topology accessors. Unlike Reconfigure these are NOT thread-safe: call
   // them only from the thread driving Run/Reconfigure (or with external
   // ordering against both). Returned engine/map/fabric references are
@@ -388,6 +516,17 @@ class ShardedRuntime {
     std::uint64_t last_seq = kNoSeq;  // per-request target coalescing
   };
 
+  // One write awaiting async replication (ReplicationMode::kAsync without
+  // payload coherence): buffered on the primary, shipped as flagged FlatOps
+  // once the primary's buffer exceeds async_max_lag. What is still buffered
+  // when the primary is killed is the kill's write loss.
+  struct PendingRepl {
+    std::uint64_t seq = 0;
+    std::uint64_t dispatch_ns = 0;
+    SimTime time = 0;
+    UserId user = 0;
+  };
+
   struct Shard {
     explicit Shard(std::uint32_t queue_depth) : tasks(queue_depth) {}
 
@@ -405,6 +544,12 @@ class ShardedRuntime {
     common::LatencyHistogram request_latency;  // single-writer: this shard
     common::LatencyHistogram remote_latency;
     std::thread worker;
+
+    // Async replication buffer (single-writer: this shard's worker; read by
+    // the dispatcher only at quiescent points — the lag gauge and the kill
+    // path). Bounded: FlushForEpoch ships all but the newest async_max_lag
+    // records at every boundary.
+    std::vector<PendingRepl> repl_pending;
 
     // Reused per-request scratch (single-writer: only this shard's worker).
     std::vector<ViewId> overlay_scratch;
@@ -503,6 +648,89 @@ class ShardedRuntime {
   // rebuilds the fabric for the target count, restores the pure map.
   void CompleteMigration();
 
+  // ----- Fault handling and online rebuild (dispatcher thread only) -----
+  //
+  // A kill replaces the victim's engine with a fresh one and opens a
+  // RebuildWindow: an ordered to-do list of rebuild items processed in
+  // bounded batches (ReplicationConfig::rebuild_batch across all open
+  // windows) at subsequent epoch boundaries. While a view's kReplica item
+  // is unprocessed, the view is *diverted*: a transition ShardMap routes it
+  // to the serving backup (ShardMap::Transition over a combined override
+  // ledger — the same dual-ownership machinery incremental migration uses),
+  // so healthy shards never pause for the rebuild.
+
+  struct RebuildItem {
+    enum class Cls : std::uint8_t {
+      kReplica,    // import from fresh backup `peer`; diverted there until then
+      kPersist,    // re-fetch the payload from the persist store
+      kCold,       // no recovery source: restart from initial-placement state
+      kResyncIn,   // import primary `peer`'s views (restores pair (peer, s))
+      kResyncOut,  // export s's rebuilt views into backup `peer`
+      kSkip,       // cancelled by a second fault; processed as a no-op
+    };
+    Cls cls = Cls::kCold;
+    ViewId view = 0;
+    std::uint32_t peer = 0;  // see Cls; unused for kCold/kSkip
+  };
+
+  struct RebuildWindow {
+    std::uint32_t shard = 0;
+    std::vector<RebuildItem> items;  // own views first, then resync items
+    std::size_t next = 0;            // processing cursor
+    // Pairs to MarkPairFresh once the window completes; purged of pairs
+    // involving a shard that dies before then (the double-fault path).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> fresh_on_complete;
+  };
+
+  // A WireBatch held back by a kDelayChannel fault, re-injected onto its
+  // channel at the pre-drain point of `release_epoch`.
+  struct DelayedBatch {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t release_epoch = 0;
+    WireBatch batch;
+  };
+
+  // Async shipping at the boundary flush: moves all but the newest
+  // async_max_lag buffered records into the shard's outboxes as flagged
+  // FlatOps. Runs on the worker inside FlushForEpoch.
+  void ShipAsyncReplication(Shard& shard);
+  // Pre-drain boundary point (kEpoch): re-injects matured delayed batches,
+  // then applies this epoch's channel drops/delays. The dispatcher briefly
+  // acts as both endpoints of the touched channels — safe exactly here,
+  // where every producer has flushed and arrived at the gate and no
+  // consumer drains until the kDrainEpoch tasks are pushed (the ordering
+  // runs through the gate and task-queue mutexes).
+  void ApplyChannelFaultsAtBoundary(std::uint64_t epoch_index,
+                                    SimTime epoch_end);
+  // Post-drain quiescent point: fires the injector's kills for this epoch.
+  void ApplyScheduledKills(std::uint64_t epoch_index);
+  // The kill itself: accounting, double-fault reclassification of other
+  // windows, engine replace + worker respawn, failover re-route, and the
+  // new rebuild window. `epoch_end` is 0 between runs.
+  void KillShardAtBoundary(std::uint32_t shard, SimTime epoch_end);
+  // Processes up to rebuild_batch items across all open windows; completed
+  // windows return their shard to UP. Returns true if any item was
+  // processed (the run loop schedules one extra boundary so the step's
+  // stats land in the telemetry series).
+  bool StepRebuilds(SimTime epoch_end);
+  // Rebuilds the combined override ledger from every window's unprocessed
+  // kReplica items and installs the matching transition (or pure) map.
+  void ReinstallRouteOverrides();
+  // Folds a dead engine's counters and traffic into retired_ — NOT the full
+  // RetireShard fold: the Shard (its stats and histograms) survives the
+  // kill, so folding those too would double-count them at merge time.
+  void FoldEngineAggregates(const Shard& shard);
+  // Abort-path cleanup (the Run unwind guard): drops open windows and
+  // delayed batches, returns every shard to UP and restores the pure map.
+  // Un-rebuilt views simply stay cold — best-effort, like the rest of the
+  // abort path.
+  void AbandonRebuilds();
+  // Stamps the shared fault/rebuild sequence id, records the event, and —
+  // with telemetry on — mirrors it onto the dispatcher track.
+  void AppendFaultEvent(FaultEvent e, std::uint64_t start_ns);
+  void AppendRebuildEvent(RebuildEvent e, std::uint64_t start_ns);
+
   // Feeds the auto-scaler one epoch's per-shard deltas and forwards its
   // decision to Reconfigure; when telemetry is on, also emits the decision
   // (with its trigger inputs) as a kScalerDecision trace event. Dispatcher
@@ -593,6 +821,22 @@ class ShardedRuntime {
   // open). While engaged, map_ is a transition map and pending Reconfigure
   // requests stay parked.
   std::optional<MigrationWindow> migration_;
+
+  // Fault-tolerance state (all dispatcher only, quiescent points).
+  // replicator_ is null when replication is disabled; injector_ is the
+  // user-installed plan (not owned). While rebuilds_ is non-empty, map_ may
+  // be a transition map (failover overrides), pending Reconfigure requests
+  // stay parked, the scaler skips observations, and the run loop keeps
+  // driving boundaries until the windows drain.
+  HealthMap health_;
+  std::unique_ptr<Replicator> replicator_;
+  const FaultInjector* injector_ = nullptr;
+  std::vector<RebuildWindow> rebuilds_;
+  std::vector<DelayedBatch> delayed_;
+  std::vector<FaultEvent> fault_events_;
+  std::vector<RebuildEvent> rebuild_events_;
+  std::uint64_t next_fault_sequence_ = 0;
+  SimTime boundary_epoch_end_ = 0;  // set per boundary, for KillShard's events
 
   // Closed-loop policy (dispatcher only; null unless scaler.enabled). The
   // baseline holds each live shard's cumulative stats at the previous

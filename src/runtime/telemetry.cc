@@ -35,6 +35,10 @@ const std::vector<MetricDef>& Schema() {
       {"drain_batch_ops", MetricKind::kCounter, "ops"},
       {"engine_view_reads", MetricKind::kCounter, "views"},
       {"views_pending", MetricKind::kGauge, "views"},
+      {"repl_sent", MetricKind::kCounter, "records"},
+      {"repl_applies", MetricKind::kCounter, "records"},
+      {"repl_lag", MetricKind::kGauge, "records"},
+      {"views_rebuilt", MetricKind::kCounter, "views"},
   };
   return kSchema;
 }
@@ -53,6 +57,10 @@ const char* EventName(TraceEventType type) {
     case TraceEventType::kCompleteMigration: return "complete_migration";
     case TraceEventType::kScalerDecision: return "scaler_decision";
     case TraceEventType::kPlacement: return "placement";
+    case TraceEventType::kFault: return "fault";
+    case TraceEventType::kFailover: return "failover";
+    case TraceEventType::kRebuildStep: return "rebuild_step";
+    case TraceEventType::kRebuildComplete: return "rebuild_complete";
   }
   return "unknown";
 }
@@ -126,6 +134,33 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
       AppendU64(out, "first_touch", e.u3, &first);
       out.append(",\"outcome\":\"").append(e.label).append("\"");
       break;
+    case TraceEventType::kFault:
+      AppendU64(out, "kind", e.u0, &first);
+      AppendU64(out, "shard", e.u1, &first);
+      AppendU64(out, "peer", e.u2, &first);
+      AppendU64(out, "ops_affected", e.u3, &first);
+      AppendU64(out, "writes_lost", e.u4, &first);
+      AppendU64(out, "sequence", e.u5, &first);
+      out.append(",\"fault\":\"").append(e.label).append("\"");
+      break;
+    case TraceEventType::kFailover:
+      AppendU64(out, "shard", e.u0, &first);
+      AppendU64(out, "backup", e.u1, &first);
+      AppendU64(out, "views_replica", e.u2, &first);
+      AppendU64(out, "views_recovering", e.u3, &first);
+      out.append(",\"outcome\":\"").append(e.label).append("\"");
+      break;
+    case TraceEventType::kRebuildStep:
+      AppendU64(out, "shard", e.u0, &first);
+      AppendU64(out, "views_replica", e.u1, &first);
+      AppendU64(out, "views_persist", e.u2, &first);
+      AppendU64(out, "resyncs", e.u3, &first);
+      AppendU64(out, "views_pending", e.u4, &first);
+      AppendU64(out, "sequence", e.u5, &first);
+      break;
+    case TraceEventType::kRebuildComplete:
+      AppendU64(out, "shard", e.u0, &first);
+      break;
     case TraceEventType::kBarrierWait:
       break;
   }
@@ -183,6 +218,10 @@ void Telemetry::SampleEpoch(std::uint64_t epoch_index, SimTime epoch_end,
         static_cast<double>(s.drain_batch_ops),
         static_cast<double>(s.engine_view_reads),
         static_cast<double>(views_pending),
+        static_cast<double>(s.delta.repl_sent),
+        static_cast<double>(s.delta.repl_applies),
+        static_cast<double>(s.repl_lag),
+        static_cast<double>(s.delta.views_rebuilt),
     };
     series_.Append(std::move(row));
   }

@@ -63,6 +63,11 @@ enum class TraceEventType : std::uint8_t {
   kCompleteMigration,  // dispatcher: window closed (instant)
   kScalerDecision,     // dispatcher: auto-scaler observation (instant)
   kPlacement,          // worker: achieved CPU placement at worker start
+  kFault,              // dispatcher: injected/requested fault (instant)
+  kFailover,           // dispatcher: kill handling span (engine replace +
+                       //   re-route; the pause the kill cost)
+  kRebuildStep,        // dispatcher: one bounded rebuild batch (span)
+  kRebuildComplete,    // dispatcher: a shard returned to UP (instant)
 };
 
 // One structured trace record. `ts_ns` is a steady-clock stamp; spans carry
@@ -83,6 +88,16 @@ enum class TraceEventType : std::uint8_t {
 //   kPlacement        u0=requested cpu, u1=achieved cpu (or ~0 on
 //                     failure/unpinned), u2=pinned (1/0), u3=first-touch
 //                     performed (1/0), label=outcome
+//   kFault            u0=kind (FaultSpec::Kind), u1=shard/src, u2=peer/dst,
+//                     u3=ops dropped+delayed, u4=writes lost,
+//                     u5=fault sequence id, label=kind name
+//   kFailover         u0=dead shard, u1=serving backup (shard count when
+//                     none), u2=views diverted to the backup,
+//                     u3=views recovering from persist/cold, label=outcome
+//   kRebuildStep      u0=shard, u1=views from replica, u2=views from
+//                     persist/cold, u3=resyncs, u4=views still pending,
+//                     u5=rebuild sequence id
+//   kRebuildComplete  u0=shard
 // `label` must point at a string literal (or other static storage): events
 // outlive the emitting scope and the snapshot copies them by value.
 struct TraceEvent {
@@ -174,6 +189,7 @@ struct ShardEpochSample {
   std::uint32_t shard = 0;
   ShardStats delta;                    // this epoch's ShardStats activity
   std::uint64_t engine_view_reads = 0; // EngineCounters::view_reads delta
+  std::uint64_t repl_lag = 0;          // async records still buffered (gauge)
   std::uint64_t compute_ns = 0;
   std::uint64_t drain_ns = 0;
   std::uint64_t barrier_wait_ns = 0;

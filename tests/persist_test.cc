@@ -102,6 +102,65 @@ TEST(PersistentStoreTest, PayloadWithSpacesSurvives) {
   EXPECT_EQ(recovered.FetchView(3)[0].payload, "a b  c");
 }
 
+// ----- Crash-recovery edge cases (the online-rebuild sources) -----
+
+TEST(PersistentStoreTest, RecoverFromEmptyOrMissingWalStartsFresh) {
+  // A shard rebuilt from a store that never saw a write must come up empty
+  // but functional — both for a WAL that exists with no records and for one
+  // that was never created.
+  const WalCleanup wal(TempWalPath("fresh"));
+  { PersistentStore store(wal.path); }  // creates an empty WAL
+  PersistentStore recovered = PersistentStore::Recover(wal.path);
+  EXPECT_EQ(recovered.num_events(), 0u);
+  EXPECT_TRUE(recovered.FetchView(1).empty());
+  recovered.Append({1, 5, "first"});
+  EXPECT_EQ(recovered.FetchView(1).size(), 1u);
+
+  const std::string missing = TempWalPath("never_written");
+  std::remove(missing.c_str());
+  PersistentStore from_missing = PersistentStore::Recover(missing);
+  EXPECT_EQ(from_missing.num_events(), 0u);
+  from_missing.Append({2, 7, "x"});  // appends continue into the same log
+  EXPECT_EQ(PersistentStore::Recover(missing).num_events(), 1u);
+  std::remove(missing.c_str());
+}
+
+TEST(PersistentStoreTest, RecoveryInterleavedWithWritesKeepsLatestVersion) {
+  // A rebuild re-fetches views while the write path keeps appending to the
+  // same log — the memcache discipline: persist first, then re-fetch. Any
+  // fetch after an append must see that append, and a recovery taken
+  // between two appends replays exactly the prefix that was durable.
+  const WalCleanup wal(TempWalPath("racing"));
+  PersistentStore store(wal.path);
+  store.Append({1, 10, "v1"});
+  const PersistentStore mid = PersistentStore::Recover(wal.path);
+  store.Append({1, 20, "v2"});  // the "concurrent" write during rebuild
+  EXPECT_EQ(mid.FetchView(1).size(), 1u);  // durable prefix only
+  const auto latest = store.FetchView(1);
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest.back().payload, "v2");
+  // A recovery after the racing write sees it too.
+  EXPECT_EQ(PersistentStore::Recover(wal.path).FetchView(1).size(), 2u);
+}
+
+TEST(PersistentStoreTest, RecoveryEnforcesPerViewBoundLikeLiveAppends) {
+  // The per-view ring bound applies during WAL replay exactly as it does
+  // live: a recovered store holds the newest max_events_per_view events,
+  // so a rebuild never resurrects payloads the live store had evicted.
+  const WalCleanup wal(TempWalPath("bounded"));
+  {
+    PersistentStore store(wal.path, /*max_events_per_view=*/3);
+    for (SimTime t = 0; t < 8; ++t) store.Append({5, t, "e"});
+  }
+  const PersistentStore recovered =
+      PersistentStore::Recover(wal.path, /*max_events_per_view=*/3);
+  const auto view = recovered.FetchView(5);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.front().time, 5u);
+  EXPECT_EQ(view.back().time, 7u);
+  EXPECT_EQ(recovered.num_events(), 8u);  // lifetime count, not retained
+}
+
 TEST(PersistentStoreTest, MoveTransfersOwnership) {
   PersistentStore a;
   a.Append({1, 1, "x"});

@@ -1,0 +1,750 @@
+// Shard replication + deterministic fault injection + online rebuild
+// (rt::Replicator, rt::FaultInjector, rt::HealthMap): the robustness
+// properties the subsystem promises. Kills land only at epoch boundaries,
+// so under the deterministic kEpoch drain every scenario has an *exact*
+// accounting verdict the tests pin down bit for bit: request conservation
+// across any kill, zero write loss under sync replication, loss == the
+// bounded async lag otherwise, channel drops/delays accounted op for op,
+// bounded rebuild batches, and bit-identity of fault-free replication-
+// disabled runs with the pre-subsystem runtime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "persist/persistent_store.h"
+#include "runtime/fault_injector.h"
+#include "runtime/sharded_runtime.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+namespace dynasore::rt {
+namespace {
+
+// ----- Fixtures (mirrors runtime_telemetry_test.cc) -----
+
+graph::SocialGraph TestGraph(std::uint32_t users = 800) {
+  graph::GraphGenConfig config;
+  config.num_users = users;
+  config.links_per_user = 8.0;
+  config.seed = 7;
+  return GenerateCommunityGraph(config);
+}
+
+wl::RequestLog TestLog(const graph::SocialGraph& g, double days = 1.0) {
+  wl::SyntheticLogConfig config;
+  config.days = days;
+  config.seed = 11;
+  return GenerateSyntheticLog(g, config);
+}
+
+struct RuntimeFixture {
+  net::Topology topo;
+  place::PlacementResult placement;
+  core::EngineConfig engine;
+};
+
+RuntimeFixture MakeFixture(const graph::SocialGraph& g,
+                           bool payload_mode = false) {
+  sim::ExperimentConfig config;
+  config.policy = sim::Policy::kRandom;
+  config.extra_memory_pct = 50;
+  config.seed = 5;
+  config.engine.store.payload_mode = payload_mode;
+  RuntimeFixture fx{sim::MakeTopology(config.cluster), {}, config.engine};
+  fx.engine.store.capacity_views = sim::CapacityPerServer(
+      g.num_users(), fx.topo.num_servers(), config.extra_memory_pct);
+  fx.placement = sim::MakeInitialPlacement(
+      g, fx.topo, fx.engine.store.capacity_views, config);
+  return fx;
+}
+
+RuntimeConfig ReplicatedConfig(std::uint32_t shards,
+                               ReplicationMode mode = ReplicationMode::kSync,
+                               std::uint32_t factor = 1) {
+  RuntimeConfig rt_config;
+  rt_config.num_shards = shards;
+  rt_config.replication.enabled = true;
+  rt_config.replication.mode = mode;
+  rt_config.replication.factor = factor;
+  return rt_config;
+}
+
+// ----- Shared verdict checks -----
+
+void ExpectConserved(const RuntimeResult& r) {
+  EXPECT_EQ(r.totals.requests, r.expected_requests);
+}
+
+void ExpectAllUpAtEnd(const RuntimeResult& r) {
+  for (std::size_t s = 0; s < r.shard_health.size(); ++s) {
+    EXPECT_EQ(r.shard_health[s], ShardHealth::kUp) << "shard " << s;
+  }
+}
+
+// Every rebuild step processes at most rebuild_batch items across all
+// classes — the per-boundary pause bound the config promises.
+void ExpectBoundedRebuildSteps(const RuntimeResult& r, std::uint64_t batch) {
+  for (const RebuildEvent& e : r.rebuild_events) {
+    EXPECT_LE(e.views_replica + e.views_persist + e.views_cold + e.resyncs,
+              batch);
+  }
+}
+
+// Sync replication with no channel faults: every replication record shipped
+// was applied by run end (records ride the boundary flush of the epoch that
+// executed the write, and kills happen after the drain).
+void ExpectReplicationDrained(const RuntimeResult& r) {
+  std::uint64_t dropped = 0;
+  for (const FaultEvent& e : r.fault_events) dropped += e.repl_records_dropped;
+  EXPECT_EQ(r.totals.repl_sent, r.totals.repl_applies + dropped);
+}
+
+// ----- Validation -----
+
+TEST(RuntimeFaultTest, ReplicationConfigValidationNamesOffendingField) {
+  RuntimeConfig rt_config = ReplicatedConfig(4);
+  EXPECT_NO_THROW(rt_config.Validate());
+
+  rt_config.replication.factor = 0;
+  try {
+    rt_config.Validate();
+    FAIL() << "factor 0 must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ReplicationConfig::factor"),
+              std::string::npos);
+  }
+
+  rt_config = ReplicatedConfig(4, ReplicationMode::kAsync);
+  rt_config.replication.async_max_lag = 0;
+  try {
+    rt_config.Validate();
+    FAIL() << "async_max_lag 0 must be rejected in async mode";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("async_max_lag"), std::string::npos);
+  }
+  // The same lag bound is legal under sync mode (the knob is inert there).
+  rt_config.replication.mode = ReplicationMode::kSync;
+  EXPECT_NO_THROW(rt_config.Validate());
+
+  rt_config = ReplicatedConfig(4);
+  rt_config.replication.rebuild_batch = 0;
+  try {
+    rt_config.Validate();
+    FAIL() << "rebuild_batch 0 must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("rebuild_batch"), std::string::npos);
+  }
+  // rebuild_batch governs replication-less rebuilds too: checked even when
+  // replication is disabled.
+  rt_config.replication.enabled = false;
+  EXPECT_THROW(rt_config.Validate(), std::invalid_argument);
+}
+
+TEST(RuntimeFaultTest, FactorAtOrAboveShardCountIsRejected) {
+  // factor == num_shards would make shard s its own backup (s + n mod n).
+  for (std::uint32_t factor : {4u, 5u}) {
+    RuntimeConfig rt_config = ReplicatedConfig(4, ReplicationMode::kSync,
+                                               factor);
+    try {
+      rt_config.Validate();
+      FAIL() << "factor " << factor << " with 4 shards must be rejected";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("num_shards"), std::string::npos);
+    }
+  }
+  EXPECT_NO_THROW(ReplicatedConfig(4, ReplicationMode::kSync, 3).Validate());
+}
+
+TEST(RuntimeFaultTest, InjectorRejectsZeroDelayAndEagerChannelFaults) {
+  FaultInjector injector;
+  EXPECT_THROW(injector.DelayChannelAt(2, 0, 1, 0), std::invalid_argument);
+  injector.DropChannelAt(2, 0, 1);
+  EXPECT_TRUE(injector.has_channel_faults());
+
+  // Channel surgery needs the kEpoch boundary where the dispatcher owns
+  // every channel endpoint; under kEager workers poll their inbound rings.
+  const auto g = TestGraph(200);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 2;
+  rt_config.drain = DrainPolicy::kEager;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  EXPECT_THROW(runtime.SetFaultInjector(&injector), std::invalid_argument);
+
+  // A kills-only plan is fine under kEager (kills land at the post-drain
+  // quiescent point, which both policies share).
+  FaultInjector kills_only;
+  kills_only.KillShardAt(3, 0);
+  EXPECT_NO_THROW(runtime.SetFaultInjector(&kills_only));
+}
+
+TEST(RuntimeFaultTest, RandomKillsPlansAreSeededAndWellFormed) {
+  const FaultInjector a = FaultInjector::RandomKills(42, 3, 4, 2, 20);
+  const FaultInjector b = FaultInjector::RandomKills(42, 3, 4, 2, 20);
+  const FaultInjector c = FaultInjector::RandomKills(43, 3, 4, 2, 20);
+  ASSERT_EQ(a.plan().size(), 3u);
+  std::vector<std::uint64_t> epochs;
+  for (std::size_t i = 0; i < a.plan().size(); ++i) {
+    const FaultSpec& f = a.plan()[i];
+    EXPECT_EQ(f.kind, FaultSpec::Kind::kKillShard);
+    EXPECT_GE(f.epoch, 2u);
+    EXPECT_LE(f.epoch, 20u);
+    EXPECT_LT(f.shard, 4u);
+    // Same seed reproduces the plan exactly.
+    EXPECT_EQ(f.epoch, b.plan()[i].epoch);
+    EXPECT_EQ(f.shard, b.plan()[i].shard);
+    epochs.push_back(f.epoch);
+  }
+  // Sorted, at most one kill per epoch, and seeds actually vary the plan.
+  EXPECT_TRUE(std::is_sorted(epochs.begin(), epochs.end()));
+  EXPECT_EQ(std::adjacent_find(epochs.begin(), epochs.end()), epochs.end());
+  bool differs = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    differs = differs || a.plan()[i].epoch != c.plan()[i].epoch ||
+              a.plan()[i].shard != c.plan()[i].shard;
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_THROW(FaultInjector::RandomKills(1, 1, 0, 2, 20),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::RandomKills(1, 1, 4, 20, 2),
+               std::invalid_argument);
+}
+
+// ----- Kill at an arbitrary epoch -----
+
+TEST(RuntimeFaultTest, KillFailsOverToBackupWithZeroLossUnderSync) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config = ReplicatedConfig(4);
+  rt_config.replication.rebuild_batch = 64;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  FaultInjector injector;
+  injector.KillShardAt(/*epoch=*/7, /*shard=*/2);
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  ExpectReplicationDrained(result);
+  EXPECT_EQ(result.writes_lost_total, 0u);
+
+  // The kill's accounting: every owned view failed over to the (fresh,
+  // sync-replicated) backup, none fell back to persist or cold restart,
+  // and sync mode buffered nothing to lose.
+  ASSERT_EQ(result.fault_events.size(), 1u);
+  const FaultEvent& kill = result.fault_events.front();
+  EXPECT_EQ(kill.kind, FaultSpec::Kind::kKillShard);
+  EXPECT_EQ(kill.shard, 2u);
+  EXPECT_GT(kill.views_owned, 0u);
+  EXPECT_EQ(kill.views_replica, kill.views_owned);
+  EXPECT_EQ(kill.views_persist, 0u);
+  EXPECT_EQ(kill.views_cold, 0u);
+  EXPECT_EQ(kill.writes_unreplicated, 0u);
+  EXPECT_EQ(kill.writes_lost, 0u);
+
+  // The rebuild drained in bounded steps, replica-sourced, and the final
+  // step closed the window with nothing pending.
+  ASSERT_FALSE(result.rebuild_events.empty());
+  ExpectBoundedRebuildSteps(result, 64);
+  std::uint64_t rebuilt = 0;
+  for (const RebuildEvent& e : result.rebuild_events) {
+    EXPECT_EQ(e.shard, 2u);
+    EXPECT_EQ(e.views_persist + e.views_cold, 0u);
+    rebuilt += e.views_replica;
+  }
+  EXPECT_EQ(rebuilt, kill.views_owned);
+  EXPECT_TRUE(result.rebuild_events.back().completed);
+  EXPECT_EQ(result.rebuild_events.back().views_pending, 0u);
+
+  // Fault and rebuild events share one monotone sequence space, so the
+  // kill orders strictly before every step that repairs it.
+  for (const RebuildEvent& e : result.rebuild_events) {
+    EXPECT_GT(e.sequence, kill.sequence);
+  }
+  EXPECT_GT(result.health_version, 0u);
+}
+
+TEST(RuntimeFaultTest, KillWithoutReplicationRestartsColdOrFromPersist) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+
+  // No replication, no persist: the lost views restart cold.
+  {
+    const RuntimeFixture fx = MakeFixture(g);
+    RuntimeConfig rt_config;
+    rt_config.num_shards = 2;
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+    FaultInjector injector;
+    injector.KillShardAt(5, 0);
+    runtime.SetFaultInjector(&injector);
+    const RuntimeResult result = runtime.Run(log);
+    ExpectConserved(result);
+    ExpectAllUpAtEnd(result);
+    ASSERT_EQ(result.fault_events.size(), 1u);
+    EXPECT_EQ(result.fault_events[0].views_cold,
+              result.fault_events[0].views_owned);
+    EXPECT_EQ(result.fault_events[0].views_replica, 0u);
+  }
+
+  // Payload mode with a persist store: the same kill recovers every view
+  // from the store instead.
+  {
+    const RuntimeFixture fx = MakeFixture(g, /*payload_mode=*/true);
+    persist::PersistentStore persist;
+    for (UserId u = 0; u < g.num_users(); ++u) persist.Append({u, 0, "seed"});
+    RuntimeConfig rt_config;
+    rt_config.num_shards = 2;
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+    runtime.AttachPersistentStore(&persist);
+    FaultInjector injector;
+    injector.KillShardAt(5, 0);
+    runtime.SetFaultInjector(&injector);
+    const RuntimeResult result = runtime.Run(log);
+    ExpectConserved(result);
+    ExpectAllUpAtEnd(result);
+    ASSERT_EQ(result.fault_events.size(), 1u);
+    EXPECT_EQ(result.fault_events[0].views_persist,
+              result.fault_events[0].views_owned);
+    EXPECT_EQ(result.fault_events[0].views_cold, 0u);
+  }
+}
+
+TEST(RuntimeFaultTest, KillsAreDeterministicUnderEpochDrain) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  FaultInjector injector;
+  injector.KillShardAt(6, 1);
+
+  const auto run = [&] {
+    const RuntimeFixture fx = MakeFixture(g);
+    RuntimeConfig rt_config = ReplicatedConfig(4);
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+    runtime.SetFaultInjector(&injector);
+    return runtime.Run(log);
+  };
+  const RuntimeResult a = run();
+  const RuntimeResult b = run();
+
+  // Same plan, same workload: the failover routing, the accounting verdict
+  // and the rebuild schedule reproduce bit for bit.
+  EXPECT_EQ(a.totals.requests, b.totals.requests);
+  EXPECT_EQ(a.totals.repl_sent, b.totals.repl_sent);
+  EXPECT_EQ(a.totals.repl_applies, b.totals.repl_applies);
+  EXPECT_EQ(a.totals.views_rebuilt, b.totals.views_rebuilt);
+  EXPECT_EQ(a.counters.writes, b.counters.writes);
+  EXPECT_EQ(a.counters.view_reads, b.counters.view_reads);
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size());
+  EXPECT_EQ(a.fault_events[0].views_replica, b.fault_events[0].views_replica);
+  ASSERT_EQ(a.rebuild_events.size(), b.rebuild_events.size());
+  for (std::size_t i = 0; i < a.rebuild_events.size(); ++i) {
+    EXPECT_EQ(a.rebuild_events[i].views_replica,
+              b.rebuild_events[i].views_replica);
+    EXPECT_EQ(a.rebuild_events[i].resyncs, b.rebuild_events[i].resyncs);
+  }
+}
+
+TEST(RuntimeFaultTest, PropertySweptRandomKillPlansConserveEverySeed) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const FaultInjector injector =
+        FaultInjector::RandomKills(seed, /*kills=*/2, /*num_shards=*/4,
+                                   /*min_epoch=*/3, /*max_epoch=*/16);
+    const RuntimeFixture fx = MakeFixture(g);
+    RuntimeConfig rt_config = ReplicatedConfig(4, ReplicationMode::kSync,
+                                               /*factor=*/2);
+    rt_config.replication.rebuild_batch = 128;
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+    runtime.SetFaultInjector(&injector);
+    const RuntimeResult result = runtime.Run(log);
+
+    ExpectConserved(result);
+    ExpectAllUpAtEnd(result);
+    ExpectBoundedRebuildSteps(result, 128);
+    EXPECT_EQ(result.writes_lost_total, 0u) << "seed " << seed;
+    EXPECT_EQ(result.fault_events.size(), 2u) << "seed " << seed;
+    EXPECT_EQ(result.repl_pending_end, 0u);
+  }
+}
+
+// ----- Kills composed with migration and other kills -----
+
+TEST(RuntimeFaultTest, KillDuringInFlightMigrationForcesCompletionFirst) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config = ReplicatedConfig(4);
+  rt_config.migration_batch = 40;  // incremental window spanning many epochs
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  runtime.SetEpochHook([&runtime](SimTime, std::uint64_t idx) {
+    if (idx == 4) runtime.Reconfigure(2);
+  });
+  FaultInjector injector;
+  injector.KillShardAt(/*epoch=*/6, /*shard=*/1);  // mid-window
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  EXPECT_EQ(runtime.num_shards(), 2u);
+  EXPECT_EQ(result.writes_lost_total, 0u);
+
+  // The kill force-finished the window (rebuild and migration never
+  // interleave): the last reconfig event closed it with nothing pending,
+  // and the kill's fault event still fired.
+  ASSERT_FALSE(result.reconfig_events.empty());
+  EXPECT_EQ(result.reconfig_events.back().views_pending, 0u);
+  ASSERT_EQ(result.fault_events.size(), 1u);
+  EXPECT_EQ(result.fault_events[0].shard, 1u);
+  ASSERT_FALSE(result.rebuild_events.empty());
+  EXPECT_TRUE(result.rebuild_events.back().completed);
+}
+
+TEST(RuntimeFaultTest, DoubleFaultBackupDiesDuringRebuild) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config = ReplicatedConfig(4);
+  rt_config.replication.rebuild_batch = 16;  // stretch the window out
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  FaultInjector injector;
+  injector.KillShardAt(4, 1);  // shard 1 fails over to its backup, shard 2
+  injector.KillShardAt(6, 2);  // ... which dies while the window is open
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  // The serving backup's death reclassifies shard 1's unprocessed replica
+  // imports (to cold restart here — no persist attached), cancels the
+  // resyncs that lost their partner, and the run still drains both windows
+  // and converges with every shard UP and every request accounted.
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  ExpectBoundedRebuildSteps(result, 16);
+  ASSERT_EQ(result.fault_events.size(), 2u);
+  EXPECT_EQ(result.fault_events[0].shard, 1u);
+  EXPECT_EQ(result.fault_events[1].shard, 2u);
+  EXPECT_EQ(result.writes_lost_total, 0u);  // sync: both kills lose nothing
+
+  bool shard1_completed = false;
+  bool shard2_completed = false;
+  std::uint64_t cold_after_refault = 0;
+  for (const RebuildEvent& e : result.rebuild_events) {
+    if (e.shard == 1 && e.completed) shard1_completed = true;
+    if (e.shard == 2 && e.completed) shard2_completed = true;
+    if (e.shard == 1 && e.sequence > result.fault_events[1].sequence) {
+      cold_after_refault += e.views_cold;
+    }
+  }
+  EXPECT_TRUE(shard1_completed);
+  EXPECT_TRUE(shard2_completed);
+  EXPECT_GT(cold_after_refault, 0u)
+      << "replica imports orphaned by the backup's death must fall back";
+}
+
+TEST(RuntimeFaultTest, ReKillingARebuildingShardRestartsItsWindow) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config = ReplicatedConfig(4);
+  rt_config.replication.rebuild_batch = 16;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  FaultInjector injector;
+  injector.KillShardAt(4, 1);
+  injector.KillShardAt(7, 1);  // again, while still REBUILDING
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  ASSERT_EQ(result.fault_events.size(), 2u);
+  // The second kill restarts the window from scratch: the first window's
+  // partial progress is void (the engine reset again) and its unprocessed
+  // remainder is discarded with it, so the imports after the re-kill cover
+  // the second classification in full.
+  std::uint64_t imports_before = 0;
+  std::uint64_t imports_after = 0;
+  for (const RebuildEvent& e : result.rebuild_events) {
+    if (e.shard != 1) continue;
+    (e.sequence < result.fault_events[1].sequence ? imports_before
+                                                  : imports_after) +=
+        e.views_replica;
+  }
+  EXPECT_GT(imports_before, 0u) << "the first window must have made progress";
+  EXPECT_LT(imports_before, result.fault_events[0].views_replica);
+  EXPECT_EQ(imports_after, result.fault_events[1].views_replica);
+  EXPECT_EQ(result.writes_lost_total, 0u);
+}
+
+TEST(RuntimeFaultTest, KillBetweenRunsRebuildsImmediately) {
+  const auto g = TestGraph(400);
+  const auto log = TestLog(g, 0.5);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config = ReplicatedConfig(2);
+  rt_config.replication.rebuild_batch = 32;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  const RuntimeResult first = runtime.Run(log);
+  ExpectConserved(first);
+
+  runtime.KillShard(0);  // between runs: batch-steps to completion in place
+  EXPECT_TRUE(runtime.health().AllUp());
+
+  const RuntimeResult second = runtime.Run(log);
+  // ShardStats accumulate over the runtime's lifetime: the second run's
+  // totals carry both replays, every request still accounted.
+  EXPECT_EQ(second.totals.requests,
+            first.totals.requests + second.expected_requests);
+  ExpectAllUpAtEnd(second);
+  // The between-runs kill and its rebuild are re-reported with epoch_end 0,
+  // ordered before everything the second run added.
+  ASSERT_GE(second.fault_events.size(), 1u);
+  EXPECT_EQ(second.fault_events[0].epoch_end, 0);
+  EXPECT_THROW(runtime.KillShard(99), std::invalid_argument);
+}
+
+// ----- Async replication: bounded lag, exact loss -----
+
+TEST(RuntimeFaultTest, AsyncLagIsBoundedAndKillLossIsExactlyTheLag) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config = ReplicatedConfig(4, ReplicationMode::kAsync);
+  rt_config.replication.async_max_lag = 8;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  FaultInjector injector;
+  injector.KillShardAt(/*epoch=*/9, /*shard=*/3);
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  ASSERT_EQ(result.fault_events.size(), 1u);
+  const FaultEvent& kill = result.fault_events.front();
+  // The kill loses exactly the records the victim still buffered — which
+  // the lag bound caps — and without a persist store none are recoverable.
+  EXPECT_GT(kill.writes_unreplicated, 0u);
+  EXPECT_LE(kill.writes_unreplicated, 8u);
+  EXPECT_EQ(kill.writes_recovered, 0u);
+  EXPECT_EQ(kill.writes_lost, kill.writes_unreplicated);
+  EXPECT_EQ(result.writes_lost_total, kill.writes_lost);
+  // Run-end lag stays within the bound on every surviving shard.
+  EXPECT_LE(result.repl_pending_end,
+            8u * static_cast<std::uint64_t>(result.shard_stats.size()));
+}
+
+TEST(RuntimeFaultTest, AsyncUnderPayloadCoherenceLosesNothing) {
+  // Payload-mode coherence ships every write at its own boundary, so async
+  // replication has nothing to buffer: the lag is structurally 0 and a kill
+  // loses no acknowledged write even in async mode.
+  const auto g = TestGraph();
+  const auto log = TestLog(g, 0.5);
+  const RuntimeFixture fx = MakeFixture(g, /*payload_mode=*/true);
+  persist::PersistentStore persist;
+  for (UserId u = 0; u < g.num_users(); ++u) persist.Append({u, 0, "seed"});
+  RuntimeConfig rt_config = ReplicatedConfig(4, ReplicationMode::kAsync);
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  runtime.AttachPersistentStore(&persist);
+  FaultInjector injector;
+  injector.KillShardAt(6, 0);
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  ASSERT_EQ(result.fault_events.size(), 1u);
+  EXPECT_EQ(result.fault_events[0].writes_unreplicated, 0u);
+  EXPECT_EQ(result.writes_lost_total, 0u);
+  EXPECT_EQ(result.repl_pending_end, 0u);
+}
+
+// ----- Channel faults: exact drop accounting, delay conservation -----
+
+TEST(RuntimeFaultTest, DroppedChannelOpsAreAccountedExactly) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const auto run = [&](const FaultInjector* injector) {
+    const RuntimeFixture fx = MakeFixture(g);
+    RuntimeConfig rt_config;
+    rt_config.num_shards = 2;
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+    if (injector != nullptr) runtime.SetFaultInjector(injector);
+    return runtime.Run(log);
+  };
+  const RuntimeResult clean = run(nullptr);
+
+  FaultInjector injector;
+  injector.DropChannelAt(/*epoch=*/5, /*src=*/0, /*dst=*/1);
+  injector.DropChannelAt(/*epoch=*/11, /*src=*/1, /*dst=*/0);
+  const RuntimeResult faulted = run(&injector);
+
+  // Requests still conserve (a dropped remote slice loses the *delivery*,
+  // not the request), and under the deterministic kEpoch drain the dropped
+  // ops close the delivery gap against the clean run exactly.
+  ExpectConserved(faulted);
+  ASSERT_EQ(faulted.fault_events.size(), 2u);
+  std::uint64_t dropped = 0;
+  for (const FaultEvent& e : faulted.fault_events) {
+    EXPECT_EQ(e.kind, FaultSpec::Kind::kDropChannel);
+    EXPECT_GT(e.remote_ops_dropped, 0u);
+    dropped += e.remote_ops_dropped;
+  }
+  const std::uint64_t clean_deliveries =
+      clean.totals.remote_read_slices + clean.totals.remote_write_applies;
+  const std::uint64_t faulted_deliveries =
+      faulted.totals.remote_read_slices + faulted.totals.remote_write_applies;
+  EXPECT_EQ(faulted_deliveries + dropped, clean_deliveries);
+}
+
+TEST(RuntimeFaultTest, DelayedChannelOpsAreConservedNotLost) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const auto run = [&](const FaultInjector* injector) {
+    const RuntimeFixture fx = MakeFixture(g);
+    RuntimeConfig rt_config;
+    rt_config.num_shards = 2;
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+    if (injector != nullptr) runtime.SetFaultInjector(injector);
+    return runtime.Run(log);
+  };
+  const RuntimeResult clean = run(nullptr);
+
+  FaultInjector injector;
+  injector.DelayChannelAt(/*epoch=*/5, /*src=*/0, /*dst=*/1,
+                          /*delay_epochs=*/3);
+  // A delay landing on the run's final boundaries: the epoch loop must keep
+  // driving boundaries until the held batches mature, not strand them.
+  injector.DelayChannelAt(/*epoch=*/23, /*src=*/1, /*dst=*/0,
+                          /*delay_epochs=*/4);
+  const RuntimeResult faulted = run(&injector);
+
+  ExpectConserved(faulted);
+  ASSERT_GE(faulted.fault_events.size(), 1u);
+  std::uint64_t delayed = 0;
+  for (const FaultEvent& e : faulted.fault_events) {
+    EXPECT_EQ(e.kind, FaultSpec::Kind::kDelayChannel);
+    delayed += e.remote_ops_delayed;
+  }
+  EXPECT_GT(delayed, 0u);
+  // Every held-back op was re-injected and applied: deliveries match the
+  // clean run bit for bit.
+  EXPECT_EQ(faulted.totals.remote_read_slices,
+            clean.totals.remote_read_slices);
+  EXPECT_EQ(faulted.totals.remote_write_applies,
+            clean.totals.remote_write_applies);
+}
+
+// ----- Bit-identity with the subsystem disabled -----
+
+TEST(RuntimeFaultTest, DisabledReplicationFaultFreeRunsAreBitIdentical) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const auto run = [&](bool attach_empty_injector) {
+    const RuntimeFixture fx = MakeFixture(g);
+    RuntimeConfig rt_config;
+    rt_config.num_shards = 4;
+    ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+    FaultInjector empty;
+    if (attach_empty_injector) runtime.SetFaultInjector(&empty);
+    return runtime.Run(log);
+  };
+  const RuntimeResult base = run(false);
+  const RuntimeResult gated = run(true);
+
+  // With replication disabled and no faults scheduled, every new code path
+  // is gated off: an attached-but-empty injector changes nothing.
+  EXPECT_EQ(base.totals.requests, gated.totals.requests);
+  EXPECT_EQ(base.totals.reads, gated.totals.reads);
+  EXPECT_EQ(base.totals.writes, gated.totals.writes);
+  EXPECT_EQ(base.totals.remote_read_slices, gated.totals.remote_read_slices);
+  EXPECT_EQ(base.totals.remote_write_applies,
+            gated.totals.remote_write_applies);
+  EXPECT_EQ(base.totals.messages_sent, gated.totals.messages_sent);
+  EXPECT_EQ(base.counters.view_reads, gated.counters.view_reads);
+  EXPECT_EQ(base.counters.writes, gated.counters.writes);
+  EXPECT_EQ(base.request_latency.count(), gated.request_latency.count());
+  EXPECT_EQ(base.totals.repl_sent, 0u);
+  EXPECT_EQ(gated.totals.repl_sent, 0u);
+  EXPECT_TRUE(base.fault_events.empty());
+  EXPECT_TRUE(gated.fault_events.empty());
+  EXPECT_TRUE(gated.rebuild_events.empty());
+}
+
+// ----- Persist recovery edge cases -----
+
+TEST(RuntimeFaultTest, RebuildFromEmptyPersistStoreCompletes) {
+  // Kill with payload mode and a persist store that has never seen a write:
+  // every re-fetch comes back empty, the rebuild still classifies the views
+  // as persist-sourced, drains, and converges.
+  const auto g = TestGraph(400);
+  const auto log = TestLog(g, 0.5);
+  const RuntimeFixture fx = MakeFixture(g, /*payload_mode=*/true);
+  persist::PersistentStore persist;  // empty: no seeds, no writes yet
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 2;
+  rt_config.replication.rebuild_batch = 32;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  runtime.AttachPersistentStore(&persist);
+  FaultInjector injector;
+  injector.KillShardAt(3, 1);
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  ASSERT_EQ(result.fault_events.size(), 1u);
+  EXPECT_EQ(result.fault_events[0].views_persist,
+            result.fault_events[0].views_owned);
+  EXPECT_TRUE(result.rebuild_events.back().completed);
+}
+
+TEST(RuntimeFaultTest, RebuildRacingConcurrentWritesKeepsLatestVersion) {
+  // Writes keep flowing to a view while its shard is REBUILDING: the
+  // write-path appends to persist before the rebuild's re-fetch, so the
+  // restored copy is always the store's latest version, never a rollback.
+  const auto g = TestGraph(400);
+  const auto log = TestLog(g);
+  const RuntimeFixture fx = MakeFixture(g, /*payload_mode=*/true);
+  persist::PersistentStore persist;
+  for (UserId u = 0; u < g.num_users(); ++u) persist.Append({u, 0, "seed"});
+  RuntimeConfig rt_config;
+  rt_config.num_shards = 2;
+  rt_config.replication.rebuild_batch = 8;  // rebuild spans many epochs
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  runtime.AttachPersistentStore(&persist);
+  FaultInjector injector;
+  injector.KillShardAt(4, 0);
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  ExpectConserved(result);
+  ExpectAllUpAtEnd(result);
+  ASSERT_GE(result.rebuild_events.size(), 2u);  // genuinely multi-epoch
+
+  // Spot-check a written view owned by the killed shard: the engine's copy
+  // matches the persist store's latest version.
+  const ShardMap& map = runtime.shard_map();
+  UserId writer = kInvalidView;
+  for (const Request& r : log.requests) {
+    if (r.op == OpType::kWrite && map.shard_of(r.user) == 0) {
+      writer = r.user;  // keep the *last* such writer? first suffices
+      break;
+    }
+  }
+  ASSERT_NE(writer, kInvalidView);
+  const auto expect = persist.FetchView(writer);
+  ASSERT_FALSE(expect.empty());
+  core::Engine& engine = runtime.shard_engine(0);
+  const ServerId holder = engine.registry().info(writer).replicas.front();
+  const store::ViewData* data = engine.server(holder).FindData(writer);
+  ASSERT_NE(data, nullptr);
+  ASSERT_EQ(data->events().size(), expect.size());
+  EXPECT_EQ(data->events().back().payload, expect.back().payload);
+}
+
+}  // namespace
+}  // namespace dynasore::rt

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/generator.h"
+#include "runtime/fault_injector.h"
 #include "runtime/sharded_runtime.h"
 #include "runtime/telemetry.h"
 #include "sim/experiment.h"
@@ -283,7 +284,7 @@ TEST(RuntimeTelemetryTest, MetricTotalsReconcileWithRunAggregates) {
   // One row per (boundary, shard): 24 epochs x 4 shards.
   const common::MetricSeries& series = result.telemetry->series;
   EXPECT_EQ(series.rows().size(), 24u * 4u);
-  EXPECT_EQ(series.schema().size(), 18u);
+  EXPECT_EQ(series.schema().size(), 22u);
   // Under kEpoch no staleness-gated polls run.
   EXPECT_EQ(series.ColumnTotal("eager_drains"), 0.0);
   // Every remote op was delivered by a batched boundary claim.
@@ -376,6 +377,54 @@ TEST(RuntimeTelemetryTest, MetricTotalsReconcileAcrossResizes) {
     saw_high_shard = saw_high_shard || row.shard >= 2;
   }
   EXPECT_TRUE(saw_high_shard);
+}
+
+TEST(RuntimeTelemetryTest, ReplicationAndRebuildColumnsReconcileAcrossKill) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+  const RuntimeFixture fx = MakeFixture(g);
+  RuntimeConfig rt_config = TelemetryConfigOn(4);
+  rt_config.replication.enabled = true;
+  rt_config.replication.mode = ReplicationMode::kSync;
+  rt_config.replication.factor = 1;
+  rt_config.replication.rebuild_batch = 64;
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  FaultInjector injector;
+  injector.KillShardAt(/*epoch=*/6, /*shard=*/1);
+  runtime.SetFaultInjector(&injector);
+  const RuntimeResult result = runtime.Run(log);
+
+  EXPECT_EQ(result.totals.requests, result.expected_requests);
+  ASSERT_NE(result.telemetry, nullptr);
+  const common::MetricSeries& series = result.telemetry->series;
+  const auto total = [&](const char* name) {
+    return static_cast<std::uint64_t>(series.ColumnTotal(name));
+  };
+  // The replication and rebuild counter columns are per-epoch deltas like
+  // every other counter: even across a mid-run kill (engine replaced,
+  // baselines rebased, rebuild spanning several boundaries) each column
+  // sums bit-for-bit to the run's aggregate.
+  EXPECT_GT(result.totals.repl_sent, 0u);
+  EXPECT_GT(result.totals.views_rebuilt, 0u);
+  EXPECT_EQ(total("repl_sent"), result.totals.repl_sent);
+  EXPECT_EQ(total("repl_applies"), result.totals.repl_applies);
+  EXPECT_EQ(total("views_rebuilt"), result.totals.views_rebuilt);
+  ExpectSeriesReconciles(result);
+
+  // The kill shows up on the dispatcher track as one fault instant, one
+  // failover span, bounded rebuild steps, and one completion instant.
+  const TelemetrySnapshot& snap = *result.telemetry;
+  EXPECT_EQ(CountEvents(snap, TraceEventType::kFault), 1u);
+  EXPECT_EQ(CountEvents(snap, TraceEventType::kFailover), 1u);
+  EXPECT_GE(CountEvents(snap, TraceEventType::kRebuildStep), 1u);
+  EXPECT_EQ(CountEvents(snap, TraceEventType::kRebuildComplete), 1u);
+  ASSERT_EQ(result.fault_events.size(), 1u);
+  EXPECT_EQ(result.writes_lost_total, 0u);  // sync mode: zero loss
+
+  const std::string json = ChromeTraceJson(snap);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"rebuild_complete\""), std::string::npos);
 }
 
 TEST(RuntimeTelemetryTest, EagerDrainColumnReconcilesUnderEagerPolicy) {
