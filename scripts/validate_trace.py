@@ -21,9 +21,13 @@ for the committed flash-crowd trace in results/. With --expect-fault it
 requires the full fault lifecycle instead: a fault instant, a failover
 span, at least one rebuild_step span, and a rebuild_complete instant, in
 cause-before-effect order (first fault <= first failover <=
-last rebuild_complete, with every rebuild_step in between). Exit code 1
-lists every violation; used as a CI step after the autoscale and
-fault-bench smoke runs."""
+last rebuild_complete, with every rebuild_step in between). With
+--expect-slo it requires the SLO control loop: every scaler_decision
+instant carries the e2e_p99_us and slo_target_us argument keys, at least
+one decision fired with reason "split-slo" and a nonzero decision, and no
+resize event precedes the first such decision (the p99 breach is the
+cause, the resize the effect). Exit code 1 lists every violation; used as
+a CI step after the autoscale, fault, and SLO bench smoke runs."""
 import argparse
 import json
 import pathlib
@@ -156,6 +160,34 @@ def check_fault(real, problems):
                         f"{last['rebuild_complete']})")
 
 
+def check_slo(real, problems):
+    """The SLO control loop: every scaler_decision carries its latency
+    inputs, a split-slo decision fired, and the first resize followed it."""
+    decisions = [e for e in real if e["name"] == "scaler_decision"]
+    if not decisions:
+        problems.append("--expect-slo: no scaler_decision instant "
+                        "in the trace")
+        return
+    for e in decisions:
+        args = e.get("args", {})
+        for key in ("e2e_p99_us", "slo_target_us"):
+            if key not in args:
+                problems.append(f"--expect-slo: scaler_decision at ts "
+                                f"{e.get('ts')} missing args['{key}']")
+    fired = [e for e in decisions
+             if e.get("args", {}).get("reason") == "split-slo"
+             and e.get("args", {}).get("decision", 0) != 0]
+    if not fired:
+        problems.append("--expect-slo: no scaler_decision with reason "
+                        "'split-slo' and a nonzero decision")
+        return
+    first_fire = min(e["ts"] for e in fired)
+    resizes = [e["ts"] for e in real if e["name"] in RESIZE_NAMES]
+    if resizes and min(resizes) < first_fire:
+        problems.append("--expect-slo: a resize event precedes the first "
+                        f"split-slo decision ({min(resizes)} < {first_fire})")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace-event JSON to validate")
@@ -165,6 +197,10 @@ def main() -> int:
     parser.add_argument("--expect-fault", action="store_true",
                         help="require the fault -> failover -> rebuild "
                              "lifecycle (the fault-bench contract)")
+    parser.add_argument("--expect-slo", action="store_true",
+                        help="require scaler_decision latency args and a "
+                             "split-slo decision before any resize "
+                             "(the SLO-bench contract)")
     args = parser.parse_args()
 
     problems = []
@@ -175,6 +211,8 @@ def main() -> int:
         check_resize(real, problems)
     if args.expect_fault:
         check_fault(real, problems)
+    if args.expect_slo:
+        check_slo(real, problems)
 
     for line in problems:
         print(line, file=sys.stderr)

@@ -57,6 +57,22 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+LatencyHistogram LatencyHistogram::DeltaSince(
+    const LatencyHistogram& baseline) const {
+  LatencyHistogram delta;
+  std::size_t highest = kNumBuckets;  // sentinel: no non-empty bucket
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t cur = buckets_[i];
+    const std::uint64_t base = baseline.buckets_[i];
+    delta.buckets_[i] = cur > base ? cur - base : 0;
+    if (delta.buckets_[i] != 0) highest = i;
+  }
+  delta.count_ = count_ > baseline.count_ ? count_ - baseline.count_ : 0;
+  delta.sum_ = sum_ > baseline.sum_ ? sum_ - baseline.sum_ : 0;
+  delta.max_ = highest == kNumBuckets ? 0 : std::min(BucketUpper(highest), max_);
+  return delta;
+}
+
 std::uint64_t LatencyHistogram::Percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);

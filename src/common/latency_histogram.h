@@ -29,6 +29,16 @@ class LatencyHistogram {
   // max all add/combine losslessly.
   void Merge(const LatencyHistogram& other);
 
+  // The samples recorded since `baseline` was snapshotted from this
+  // histogram: per-bucket, count, and sum differences (saturating, like
+  // ShardStats::DeltaSince, so a stale baseline yields zeros instead of
+  // wrapping). The delta's max is approximated from above by the upper edge
+  // of its highest non-empty bucket, clamped to the current max — exact
+  // whenever the overall maximum sample is part of the delta, and within
+  // one bucket width (12.5%) otherwise. This is the per-epoch sampling path
+  // the SLO control plane reads at telemetry boundaries.
+  LatencyHistogram DeltaSince(const LatencyHistogram& baseline) const;
+
   // Upper bound of the q-quantile (q in [0, 1]) in nanoseconds; 0 when
   // empty. Error is bounded by the bucket width (<= 12.5% of the value).
   std::uint64_t Percentile(double q) const;

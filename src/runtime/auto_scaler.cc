@@ -20,10 +20,14 @@ double AutoScaler::Imbalance(std::span<const ShardStats> deltas) {
 
 std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
                                   std::uint32_t num_shards,
-                                  std::span<const ShardStats> deltas) {
+                                  std::span<const ShardStats> deltas,
+                                  const EpochLatency& e2e) {
+  const double target_us = static_cast<double>(config_.target_p99_micros);
   ScalerObservation obs;
   obs.epoch_index = epoch_index;
   obs.num_shards = num_shards;
+  obs.e2e_p99_us = e2e.samples > 0 ? e2e.p99_us : 0.0;
+  obs.slo_target_us = target_us;
   for (const ShardStats& d : deltas) {
     obs.total_ops += d.requests;
     obs.max_shard_ops = std::max(obs.max_shard_ops, d.requests);
@@ -51,7 +55,9 @@ std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
 
   // Split triggers, hottest-first: raw load, then imbalance (which needs a
   // non-empty epoch and peers to be imbalanced against), then queue
-  // pressure. Doubling matches hash sharding's halving of per-shard load.
+  // pressure, then the SLO breach — the latency objective backstops the
+  // load proxies when they are mis-tuned for the workload. Doubling matches
+  // hash sharding's halving of per-shard load.
   if (num_shards < config_.max_shards && obs.total_ops > 0) {
     const char* reason = nullptr;
     if (config_.split_shard_ops != 0 &&
@@ -63,6 +69,9 @@ std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
     } else if (config_.split_queue_backlog != 0.0 &&
                obs.max_queue_backlog >= config_.split_queue_backlog) {
       reason = "split-queue";
+    } else if (config_.target_p99_micros != 0 && e2e.samples > 0 &&
+               e2e.p99_us > target_us) {
+      reason = "split-slo";
     }
     if (reason != nullptr) {
       obs.decision = std::min(config_.max_shards, num_shards * 2);
@@ -79,18 +88,31 @@ std::uint32_t AutoScaler::Observe(std::uint64_t epoch_index,
   // Merge trigger: every shard cold (hottest below the threshold) for
   // merge_cold_epochs consecutive boundaries. One warm epoch resets the
   // streak — persistence, not a single quiet epoch, justifies shrinking.
+  // The SLO policy vetoes the whole cold path while the end-to-end p99
+  // sits above (1 - dead band) * target: halving the shard count roughly
+  // doubles per-shard load, so a merge from just under the target would
+  // immediately breach it. A veto resets the streak — the cold evidence is
+  // not trustworthy while latency is hot.
   if (config_.merge_shard_ops != 0 && num_shards > config_.min_shards &&
       obs.max_shard_ops < config_.merge_shard_ops) {
-    ++cold_streak_;
-    if (cold_streak_ >= config_.merge_cold_epochs) {
-      obs.decision = std::max(config_.min_shards, (num_shards + 1) / 2);
-      obs.reason = "merge-cold";
-      cooldown_left_ = config_.cooldown_epochs;
+    const bool slo_permits =
+        config_.target_p99_micros == 0 || e2e.samples == 0 ||
+        e2e.p99_us <= (1.0 - config_.slo_dead_band) * target_us;
+    if (!slo_permits) {
       cold_streak_ = 0;
-      obs.cooldown_left = cooldown_left_;
-      obs.cold_streak = cold_streak_;
-      history_.push_back(obs);
-      return obs.decision;
+      obs.reason = "slo-merge-veto";
+    } else {
+      ++cold_streak_;
+      if (cold_streak_ >= config_.merge_cold_epochs) {
+        obs.decision = std::max(config_.min_shards, (num_shards + 1) / 2);
+        obs.reason = "merge-cold";
+        cooldown_left_ = config_.cooldown_epochs;
+        cold_streak_ = 0;
+        obs.cooldown_left = cooldown_left_;
+        obs.cold_streak = cold_streak_;
+        history_.push_back(obs);
+        return obs.decision;
+      }
     }
   } else {
     cold_streak_ = 0;

@@ -29,6 +29,16 @@
 
 namespace dynasore::rt {
 
+// One epoch's end-to-end latency evidence for the SLO policy: how many
+// requests completed their join this boundary and the p99 of their
+// dispatch-to-last-slice latency (microseconds). samples == 0 means "no
+// latency evidence this epoch" — the SLO policy neither splits nor vetoes
+// on an empty epoch.
+struct EpochLatency {
+  std::uint64_t samples = 0;
+  double p99_us = 0;
+};
+
 // One boundary's view of the cluster and what the scaler did with it —
 // the audit trail benches and tests read back (AutoScaler::history).
 struct ScalerObservation {
@@ -38,10 +48,13 @@ struct ScalerObservation {
   std::uint64_t max_shard_ops = 0; // hottest shard's owned requests
   double imbalance = 0;            // max/mean ops; 0 on an empty epoch
   double max_queue_backlog = 0;    // hottest shard's mean queued batches
+  double e2e_p99_us = 0;           // epoch's end-to-end p99 (µs); 0 = none
+  double slo_target_us = 0;        // config target (µs); 0 = SLO policy off
   std::uint32_t decision = 0;      // requested shard count; 0 = hold
   const char* reason = "";         // "", "cooldown", "split-load",
                                    // "split-imbalance", "split-queue",
-                                   // "merge-cold"
+                                   // "split-slo", "merge-cold",
+                                   // "slo-merge-veto"
   // Hysteresis state *after* this boundary's bookkeeping: boundaries still
   // to hold before the next decision, and consecutive cold epochs counted
   // toward a merge. A firing decision resets both (cooldown restarts at
@@ -64,8 +77,17 @@ class AutoScaler {
   // while a migration window is in flight — the runtime skips those
   // boundaries (and any boundary whose shard set changed size, where no
   // per-epoch delta exists).
+  //
+  // `e2e` is the epoch's end-to-end latency delta (the completion join's
+  // per-epoch histogram, see sharded_runtime.h). With
+  // config.target_p99_micros != 0 it drives the SLO policy: a fourth split
+  // trigger ("split-slo") when the p99 breaches the target, and a merge
+  // veto ("slo-merge-veto") while the p99 sits above
+  // (1 - slo_dead_band) * target. Defaulted so load-only callers and unit
+  // tests need not fabricate latency evidence.
   std::uint32_t Observe(std::uint64_t epoch_index, std::uint32_t num_shards,
-                        std::span<const ShardStats> deltas);
+                        std::span<const ShardStats> deltas,
+                        const EpochLatency& e2e = {});
 
   // Per-epoch imbalance: hottest shard's owned requests over the per-shard
   // mean. 1.0 is perfectly balanced; 0 when the epoch executed nothing.

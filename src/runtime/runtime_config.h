@@ -82,6 +82,22 @@ struct AutoScalerConfig {
   std::uint64_t merge_shard_ops = 0;
   std::uint32_t merge_cold_epochs = 3;
 
+  // SLO policy: target for the *end-to-end* per-epoch p99 (the completion
+  // join's latency — max over a request's slices — in microseconds). When
+  // non-zero, the scaler additionally splits on any epoch whose end-to-end
+  // p99 exceeds the target ("split-slo", after the load/imbalance/backlog
+  // triggers), and vetoes ops-cold merges while the p99 sits above
+  // (1 - slo_dead_band) * target — halving the shard count roughly doubles
+  // per-shard load, so merging from just under the target would immediately
+  // breach it. 0 disables the policy. Valid range: any.
+  std::uint64_t target_p99_micros = 0;
+
+  // Fraction below the target the end-to-end p99 must sit before the SLO
+  // policy permits a merge (the latency analogue of the load dead band
+  // above). Only meaningful with target_p99_micros != 0. Valid range:
+  // [0, 1), not NaN.
+  double slo_dead_band = 0.25;
+
   // Checks the ranges above plus the split/merge dead band; throws
   // std::invalid_argument naming the offending field. Called by
   // RuntimeConfig::Validate.
@@ -121,6 +137,14 @@ struct AutoScalerConfig {
           "halving the shard count doubles per-shard load, so a narrower "
           "dead band lets a merge land straight back on the split threshold "
           "(thrash)");
+    }
+    if (std::isnan(slo_dead_band) || slo_dead_band < 0.0 ||
+        slo_dead_band >= 1.0) {
+      throw std::invalid_argument(
+          "AutoScalerConfig::slo_dead_band must be in [0, 1) (the fraction "
+          "below target_p99_micros the end-to-end p99 must reach before a "
+          "merge is permitted; 1 or more would veto merges forever, and NaN "
+          "would silently never veto)");
     }
   }
 };
@@ -334,6 +358,28 @@ struct RuntimeConfig {
   static constexpr std::uint64_t kMaxStalenessMicros =
       ~std::uint64_t{0} / 1000;  // largest µs value representable in ns
 
+  // kEager only: close the loop over staleness_micros. When set, the
+  // dispatcher watches each epoch's remote-slice freshness percentiles (the
+  // per-epoch delta of the remote-latency histogram) at the boundary
+  // quiescent point and retunes the live staleness bound the eager polls
+  // read: halve it when the epoch's freshness p99 exceeds
+  // staleness_target_p99_micros (serve remote slices sooner), double it
+  // when the p99 sits below half the target (freshness to spare — batch
+  // more, poll less), hold inside the dead zone between them. The live
+  // bound moves in [0, kMaxTunedStalenessMicros]; staleness_micros is only
+  // its starting point. Requires drain == kEager and a non-zero target
+  // (see Validate).
+  bool tune_staleness = false;
+
+  // Target for the per-epoch remote-slice freshness p99, in microseconds.
+  // Valid range: >= 1 when tune_staleness is set (a 0-µs freshness target
+  // is unreachable — every remote slice takes non-zero time to arrive).
+  std::uint64_t staleness_target_p99_micros = 0;
+
+  // Ceiling the tuner may double the live staleness bound up to (1 second
+  // — far beyond any useful freshness bound, just a runaway stop).
+  static constexpr std::uint64_t kMaxTunedStalenessMicros = 1'000'000;
+
   // Incremental view migration: how many views a reconfiguration hands
   // over per epoch boundary. 0 (the default) migrates every owner-changing
   // view in the triggering boundary's single quiesced pause; a positive
@@ -402,6 +448,25 @@ struct RuntimeConfig {
           "RuntimeConfig::staleness_micros must be <= kMaxStalenessMicros "
           "(2^64/1000): the bound is compared in nanoseconds and larger "
           "values overflow the clock domain");
+    }
+    if (tune_staleness && drain != DrainPolicy::kEager) {
+      throw std::invalid_argument(
+          "RuntimeConfig::tune_staleness requires drain == DrainPolicy::"
+          "kEager (the staleness bound only gates eager mid-epoch polls; "
+          "under kEpoch there is nothing to tune)");
+    }
+    if (tune_staleness && staleness_target_p99_micros == 0) {
+      throw std::invalid_argument(
+          "RuntimeConfig::staleness_target_p99_micros must be at least 1 "
+          "when tune_staleness is set (a 0-µs remote-freshness target is "
+          "unreachable, so the tuner would halve the bound forever)");
+    }
+    if (tune_staleness && staleness_micros > kMaxTunedStalenessMicros) {
+      throw std::invalid_argument(
+          "RuntimeConfig::staleness_micros must be <= "
+          "kMaxTunedStalenessMicros (1 second) when tune_staleness is set "
+          "(the tuner moves the live bound within that ceiling, so a larger "
+          "starting point could never be restored after one halving)");
     }
     replication.Validate();
     if (replication.enabled && replication.factor >= num_shards) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <stdexcept>
@@ -86,6 +87,9 @@ ShardedRuntime::ShardedRuntime(const graph::SocialGraph& g,
       config_(config),
       map_(config.num_shards, g.num_users(), config.sharding) {
   config.Validate();
+  // The live staleness bound starts at the configured value; the online
+  // tuner (TuneStalenessAtBoundary) moves it at quiescent points.
+  staleness_ns_live_ = config_.staleness_micros * 1000;
   epoch_ = RoundEpochToSlotDivisor(config.epoch_seconds,
                                    engine_config.slot_seconds);
   if (epoch_ == 0) {
@@ -687,6 +691,86 @@ void ShardedRuntime::FinishMigrationNow() {
   EmitMigrationComplete(from, to);
 }
 
+void ShardedRuntime::JoinCompletionsAtBoundary() {
+  // Two passes over the shard set: every origin must be registered before
+  // any slice resolves — shard A's drain may have served a slice of a
+  // request shard B owns, and the per-shard vectors are visited in id
+  // order.
+  for (auto& shard : shards_) {
+    for (const JoinOrigin& o : shard->join_origins) {
+      if (o.slices == 0) {
+        e2e_total_.Add(o.done_ns > o.dispatch_ns ? o.done_ns - o.dispatch_ns
+                                                 : 0);
+      } else {
+        pending_joins_.emplace(
+            o.seq, PendingJoin{o.dispatch_ns, o.done_ns, o.slices});
+      }
+    }
+    shard->join_origins.clear();
+  }
+  const auto resolve = [this](const SliceDone& sd) {
+    const auto it = pending_joins_.find(sd.seq);
+    if (it == pending_joins_.end()) return;  // defensive: unmatched slice
+    PendingJoin& pj = it->second;
+    pj.max_done_ns = std::max(pj.max_done_ns, sd.done_ns);
+    if (--pj.remaining == 0) {
+      e2e_total_.Add(pj.max_done_ns > pj.dispatch_ns
+                         ? pj.max_done_ns - pj.dispatch_ns
+                         : 0);
+      pending_joins_.erase(it);
+    }
+  };
+  for (auto& shard : shards_) {
+    for (const SliceDone& sd : shard->slice_done) resolve(sd);
+    shard->slice_done.clear();
+  }
+  for (const SliceDone& sd : synth_slices_) resolve(sd);
+  synth_slices_.clear();
+  // The epoch's evidence for telemetry (e2e_p99 column) and the scaler's
+  // SLO policy: just the joins that completed at this boundary.
+  e2e_epoch_delta_ = e2e_total_.DeltaSince(e2e_baseline_);
+  e2e_baseline_ = e2e_total_;
+}
+
+void ShardedRuntime::TuneStalenessAtBoundary() {
+  if (!config_.tune_staleness) return;
+  // Merged remote-slice freshness across the runtime's lifetime: live
+  // shards plus retired accumulators. Monotone across resizes (RetireShard
+  // folds histograms into retired_) and kills (the Shard and its histograms
+  // survive; FoldEngineAggregates leaves them alone), so the delta against
+  // the previous boundary's snapshot is exactly this epoch's samples.
+  common::LatencyHistogram merged = retired_.remote_latency;
+  for (const auto& shard : shards_) merged.Merge(shard->remote_latency);
+  const common::LatencyHistogram delta =
+      merged.DeltaSince(tuner_remote_baseline_);
+  tuner_remote_baseline_ = std::move(merged);
+  if (delta.count() == 0) return;  // no remote slices: no evidence, hold
+  const double p99_us = static_cast<double>(delta.Percentile(0.99)) / 1000.0;
+  const double target_us =
+      static_cast<double>(config_.staleness_target_p99_micros);
+  const std::uint64_t before_ns = staleness_ns_live_;
+  if (p99_us > target_us) {
+    // Too stale: halve the bound so eager polls serve sooner. Below 1 µs
+    // the bound stops gating anything measurable — snap to 0 (serve
+    // immediately).
+    staleness_ns_live_ /= 2;
+    if (staleness_ns_live_ < 1000) staleness_ns_live_ = 0;
+  } else if (p99_us < target_us / 2.0) {
+    // Much fresher than required: double the bound (from 0, restart at
+    // 1 µs) to win back batching, capped so one run can never tune the
+    // bound past kMaxTunedStalenessMicros.
+    staleness_ns_live_ =
+        staleness_ns_live_ == 0 ? 1000 : staleness_ns_live_ * 2;
+    staleness_ns_live_ = std::min(
+        staleness_ns_live_, RuntimeConfig::kMaxTunedStalenessMicros * 1000);
+  }
+  // Inside the dead zone [target/2, target]: hold.
+  if (staleness_ns_live_ != before_ns) {
+    ++staleness_tunings_;
+    ++pending_staleness_tuned_;
+  }
+}
+
 void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
   if (scaler_ == nullptr) return;
   // Deltas are only meaningful against a same-shaped baseline; after any
@@ -703,8 +787,19 @@ void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       deltas.push_back(shards_[s]->stats.DeltaSince(scaler_baseline_[s]));
     }
+    // The completion join ran earlier at this same boundary, so the delta
+    // is exactly this epoch's end-to-end evidence for the SLO policy.
+    EpochLatency e2e;
+    e2e.samples = e2e_epoch_delta_.count();
+    e2e.p99_us =
+        static_cast<double>(e2e_epoch_delta_.Percentile(0.99)) / 1000.0;
     const std::uint32_t target =
-        scaler_->Observe(epoch_index, map_.num_shards(), deltas);
+        scaler_->Observe(epoch_index, map_.num_shards(), deltas, e2e);
+    if (target != 0 && !scaler_->history().empty() &&
+        std::strcmp(scaler_->history().back().reason, "split-slo") == 0) {
+      ++slo_split_decisions_;
+      ++pending_slo_decisions_;
+    }
     // Mirror the observation — trigger inputs, hysteresis state, verdict —
     // onto the dispatcher track, so a trace shows *why* each resize fired
     // (or why the scaler held) right next to the resize spans themselves.
@@ -722,6 +817,8 @@ void ShardedRuntime::ObserveEpochForScaler(std::uint64_t epoch_index) {
       e.u5 = obs.total_ops;
       e.f0 = obs.imbalance;
       e.f1 = obs.max_queue_backlog;
+      e.f2 = obs.e2e_p99_us;
+      e.f3 = obs.slo_target_us;
       e.label = obs.reason;
       telemetry_->dispatcher_track()->Emit(e);
     }
@@ -821,13 +918,20 @@ void ShardedRuntime::ApplyChannelFaultsAtBoundary(std::uint64_t epoch_index,
       event.kind = FaultSpec::Kind::kDropChannel;
       event.shard = it->src;
       event.peer = it->dst;
+      const std::uint64_t drop_ns = NowNs();
       for (const FlatOp& op : it->batch.ops) {
         ++event.remote_ops_dropped;
         if ((op.flags & FlatOp::kReplicated) != 0) {
           ++event.repl_records_dropped;
         }
+        // A dropped read slice still owes its request a completion: the
+        // join resolves it at drop time, or the request would hang in
+        // pending_joins_ forever.
+        if (op.op == OpType::kRead) {
+          synth_slices_.push_back(SliceDone{op.seq, drop_ns});
+        }
       }
-      AppendFaultEvent(event, NowNs());
+      AppendFaultEvent(event, drop_ns);
       it = delayed_.erase(it);
       continue;
     }
@@ -860,6 +964,10 @@ void ShardedRuntime::ApplyChannelFaultsAtBoundary(std::uint64_t epoch_index,
           ++event.remote_ops_dropped;
           if ((op.flags & FlatOp::kReplicated) != 0) {
             ++event.repl_records_dropped;
+          }
+          // Same join obligation as the endpoint-shrunk drop above.
+          if (op.op == OpType::kRead) {
+            synth_slices_.push_back(SliceDone{op.seq, t0});
           }
         }
       }
@@ -1288,10 +1396,21 @@ void ShardedRuntime::SampleTelemetryEpoch(std::uint64_t epoch_index,
   // boundary is sampled; the size check is a safety net that skips (rather
   // than misattributes) a sample if a resize path ever forgot to rebase.
   if (telem_stats_baseline_.size() == shards_.size()) {
-    std::uint64_t views_pending = 0;
+    Telemetry::EpochScalars scalars;
     if (migration_.has_value()) {
-      views_pending = migration_->ledger->size() - migration_->next;
+      scalars.views_pending = migration_->ledger->size() - migration_->next;
     }
+    // The completion join already ran at this boundary, so the e2e column
+    // has no sampling offset; the two SLO counters cover decisions since
+    // the *previous* sample — the scaler and tuner run after this call.
+    if (e2e_epoch_delta_.count() > 0) {
+      scalars.e2e_p99_us =
+          static_cast<double>(e2e_epoch_delta_.Percentile(0.99)) / 1000.0;
+    }
+    scalars.slo_decisions = pending_slo_decisions_;
+    scalars.staleness_tuned = pending_staleness_tuned_;
+    pending_slo_decisions_ = 0;
+    pending_staleness_tuned_ = 0;
     std::vector<ShardEpochSample> samples;
     samples.reserve(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -1319,7 +1438,7 @@ void ShardedRuntime::SampleTelemetryEpoch(std::uint64_t epoch_index,
       }
       samples.push_back(sample);
     }
-    telemetry_->SampleEpoch(epoch_index, epoch_end, views_pending, samples);
+    telemetry_->SampleEpoch(epoch_index, epoch_end, scalars, samples);
   }
   // Advance the baselines to this boundary and zero the per-epoch phase
   // accumulators — nothing executes between this call and any resize the
@@ -1340,6 +1459,11 @@ void ShardedRuntime::ExecuteRequest(Shard& shard, const SeqRequest& sr) {
   ++shard.stats.requests;
   core::Engine& engine = *shard.engine;
   const std::uint32_t n = map_.num_shards();
+  // Remote read slices shipped for this request — the completion join's
+  // outstanding-slice count. Writes and local-only reads stay 0: they are
+  // end-to-end complete at the local latency sample below (coherence and
+  // replication fan-out is not part of the request's read path).
+  std::uint32_t join_slices = 0;
 
   if (request.op == OpType::kWrite) {
     ++shard.stats.writes;
@@ -1425,6 +1549,7 @@ void ShardedRuntime::ExecuteRequest(Shard& shard, const SeqRequest& sr) {
               OpType::kRead, 0,
               static_cast<std::uint32_t>(out.batch.targets.size()), 0});
           ++shard.stats.messages_sent;
+          ++join_slices;
         }
         out.batch.targets.push_back(v);
         ++out.batch.ops.back().target_count;
@@ -1438,6 +1563,8 @@ void ShardedRuntime::ExecuteRequest(Shard& shard, const SeqRequest& sr) {
 
   const std::uint64_t now = NowNs();
   shard.request_latency.Add(now > sr.dispatch_ns ? now - sr.dispatch_ns : 0);
+  shard.join_origins.push_back(
+      JoinOrigin{sr.seq, sr.dispatch_ns, now, join_slices});
 }
 
 bool ShardedRuntime::TryFlushOutboxes(Shard& shard) {
@@ -1547,6 +1674,12 @@ std::size_t ShardedRuntime::ServeBatches(Shard& shard) {
     }
     const std::uint64_t now = NowNs();
     shard.remote_latency.Add(now > op.dispatch_ns ? now - op.dispatch_ns : 0);
+    // Completion-join record: one per served remote read slice, resolved by
+    // the dispatcher at the next boundary. Write applies are not join
+    // slices — the issuing request completed at its local sample.
+    if (op.op == OpType::kRead) {
+      shard.slice_done.push_back(SliceDone{op.seq, now});
+    }
   }
   batches.clear();
   return order.size();
@@ -1605,9 +1738,12 @@ void ShardedRuntime::DrainEpoch(Shard& shard) {
 void ShardedRuntime::EagerPoll(Shard& shard, bool ignore_staleness) {
   auto& batches = shard.drain_batches;
   batches.clear();
-  // RuntimeConfig::Validate rejects staleness_micros above
-  // kMaxStalenessMicros, so the µs -> ns conversion cannot wrap here.
-  const std::uint64_t min_age_ns = config_.staleness_micros * 1000;
+  // The live staleness bound: config_.staleness_micros converted at
+  // construction, then possibly moved by the online tuner. Written by the
+  // dispatcher only at quiescent points (every worker parked on its task
+  // queue) and read here after popping a task, so the queue mutex orders
+  // the access — same discipline as map_.
+  const std::uint64_t min_age_ns = staleness_ns_live_;
   const std::uint64_t now = NowNs();
   std::size_t claims = 0;
   for (std::uint32_t src = 0; src < map_.num_shards(); ++src) {
@@ -1810,7 +1946,13 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
           }
         }
       }
-      for (auto& shard : rt->shards_) shard->repl_pending.clear();
+      for (auto& shard : rt->shards_) {
+        shard->repl_pending.clear();
+        shard->join_origins.clear();
+        shard->slice_done.clear();
+      }
+      rt->pending_joins_.clear();
+      rt->synth_slices_.clear();
       rt->delayed_.clear();
       rt->AbandonRebuilds();
       rt->flash_ = {};
@@ -1991,6 +2133,9 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       backlog_batches[s] = 0;
       backlog_sum[s] = 0;
     }
+    // Resolve the epoch's completion-join records before telemetry samples
+    // and the scaler observes — both consume the fresh e2e_epoch_delta_.
+    JoinCompletionsAtBoundary();
     // Sample the epoch *before* the hook/scaler/migration below can resize
     // the shard set, so a shard retired at this boundary still contributes
     // its final epoch's row; boundary_epoch_index_ lets the resize spans
@@ -2020,6 +2165,7 @@ RuntimeResult ShardedRuntime::Run(const wl::RequestLog& log,
       backlog_batches.resize(n);
       ResetTelemetryBaselines();
     }
+    TuneStalenessAtBoundary();
     ObserveEpochForScaler(epoch_index);
     ++epoch_index;
     std::uint32_t pending = 0;
@@ -2132,6 +2278,11 @@ RuntimeResult ShardedRuntime::MergeResults(double wall_seconds) const {
   result.completion_latency.Merge(result.remote_latency);
   result.request_percentiles = SummarizeLatency(result.request_latency);
   result.completion_percentiles = SummarizeLatency(result.completion_latency);
+  result.e2e_latency = e2e_total_;
+  result.e2e_percentiles = SummarizeLatency(result.e2e_latency);
+  result.slo_split_decisions = slo_split_decisions_;
+  result.staleness_tunings = staleness_tunings_;
+  result.staleness_micros_end = staleness_ns_live_ / 1000;
   if (wall_seconds > 0) {
     result.ops_per_sec =
         static_cast<double>(result.totals.requests) / wall_seconds;

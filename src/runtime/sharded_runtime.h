@@ -67,6 +67,7 @@
 #include <optional>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -347,6 +348,25 @@ struct RuntimeResult {
   LatencyPercentiles request_percentiles;     // over request_latency
   LatencyPercentiles completion_percentiles;  // over completion_latency
 
+  // End-to-end *request* completion distribution from the dispatcher's
+  // completion join: one sample per owned request, dispatch to the max over
+  // its slices (local completion for writes and local-only reads, last
+  // remote slice applied otherwise). Unlike completion_latency — which
+  // mixes per-slice samples — this is a per-request histogram, so
+  // e2e_latency.count() == totals.requests on every completed run: the
+  // join's conservation invariant. Lifetime-accumulated like the other
+  // merged histograms.
+  common::LatencyHistogram e2e_latency;
+  LatencyPercentiles e2e_percentiles;  // over e2e_latency
+
+  // SLO control-plane lifetime totals: "split-slo" scaler decisions
+  // forwarded to Reconfigure, staleness-bound adjustments the online tuner
+  // made, and the tuned staleness bound in effect at run end (equals
+  // RuntimeConfig::staleness_micros when tune_staleness is off).
+  std::uint64_t slo_split_decisions = 0;
+  std::uint64_t staleness_tunings = 0;
+  std::uint64_t staleness_micros_end = 0;
+
   std::uint64_t expected_requests = 0;  // size of the replayed log
   double wall_seconds = 0;
   double ops_per_sec = 0;  // requests / wall_seconds
@@ -516,6 +536,42 @@ class ShardedRuntime {
     std::uint64_t last_seq = kNoSeq;  // per-request target coalescing
   };
 
+  // ----- End-to-end completion join (dispatcher-side) -----
+  //
+  // A multi-shard read completes, end to end, when its *last* remote slice
+  // has been applied — the per-slice histograms can't express that max, so
+  // the runtime joins completions explicitly. Workers only append plain
+  // records to their own shard's vectors (single-writer, like stats); the
+  // dispatcher resolves them into e2e_total_ at every epoch boundary
+  // (JoinCompletionsAtBoundary), keeping all histogram work off the hot
+  // path and on one thread.
+
+  // One owned request's join record, appended by the owning worker when the
+  // request executes its local slice. `slices` counts the remote read
+  // slices shipped for it (0 for writes and local-only reads — those
+  // complete immediately at done_ns).
+  struct JoinOrigin {
+    std::uint64_t seq = 0;
+    std::uint64_t dispatch_ns = 0;
+    std::uint64_t done_ns = 0;  // local slice completion
+    std::uint32_t slices = 0;
+  };
+
+  // One remote read slice's completion, appended by the *serving* worker
+  // when it applies the slice (or synthesized by the dispatcher when a
+  // channel fault drops the op — the join must still resolve).
+  struct SliceDone {
+    std::uint64_t seq = 0;
+    std::uint64_t done_ns = 0;
+  };
+
+  // Dispatcher-side join state for a request still awaiting remote slices.
+  struct PendingJoin {
+    std::uint64_t dispatch_ns = 0;
+    std::uint64_t max_done_ns = 0;
+    std::uint32_t remaining = 0;
+  };
+
   // One write awaiting async replication (ReplicationMode::kAsync without
   // payload coherence): buffered on the primary, shipped as flagged FlatOps
   // once the primary's buffer exceeds async_max_lag. What is still buffered
@@ -543,6 +599,11 @@ class ShardedRuntime {
     TelemetryTrack* telem = nullptr;
     common::LatencyHistogram request_latency;  // single-writer: this shard
     common::LatencyHistogram remote_latency;
+    // Completion-join records for the dispatcher (single-writer: this
+    // shard's worker; drained and cleared by JoinCompletionsAtBoundary at
+    // the quiescent point — transient, so kills and retires need no fold).
+    std::vector<JoinOrigin> join_origins;
+    std::vector<SliceDone> slice_done;
     std::thread worker;
 
     // Async replication buffer (single-writer: this shard's worker; read by
@@ -731,6 +792,24 @@ class ShardedRuntime {
   void AppendFaultEvent(FaultEvent e, std::uint64_t start_ns);
   void AppendRebuildEvent(RebuildEvent e, std::uint64_t start_ns);
 
+  // Resolves the epoch's completion-join records into e2e_total_ and
+  // recomputes e2e_epoch_delta_ (the samples that completed their join this
+  // boundary). Dispatcher thread, quiescent point only — runs right after
+  // the boundary drain, *before* telemetry sampling and the scaler, so both
+  // observe the fresh delta. Origins always arrive at or before their
+  // slices (a request's origin is recorded when it executes, before its
+  // remote ops ship), so single-pass resolution needs no reordering; joins
+  // whose slices sit in a delayed batch stay pending across boundaries and
+  // resolve when the batch matures (the run loop keeps driving boundaries
+  // until delayed_ drains, so a completed run has no pending joins).
+  void JoinCompletionsAtBoundary();
+  // Online staleness tuning (RuntimeConfig::tune_staleness, kEager only):
+  // compares the epoch's remote-slice freshness p99 against
+  // staleness_target_p99_micros and halves/doubles staleness_ns_live_
+  // toward it (hold inside the dead zone [target/2, target]). Dispatcher
+  // thread, quiescent point only.
+  void TuneStalenessAtBoundary();
+
   // Feeds the auto-scaler one epoch's per-shard deltas and forwards its
   // decision to Reconfigure; when telemetry is on, also emits the decision
   // (with its trigger inputs) as a kScalerDecision trace event. Dispatcher
@@ -844,6 +923,33 @@ class ShardedRuntime {
   // shard set changed size since.
   std::unique_ptr<AutoScaler> scaler_;
   std::vector<ShardStats> scaler_baseline_;
+
+  // End-to-end completion join (dispatcher only, quiescent points).
+  // e2e_total_ is the lifetime histogram MergeResults reports;
+  // e2e_baseline_ snapshots it at the previous boundary so e2e_epoch_delta_
+  // holds just the joins that completed this epoch — the SLO policy's and
+  // telemetry's per-epoch evidence. synth_slices_ carries slice completions
+  // the dispatcher synthesized for channel-fault-dropped read ops.
+  std::unordered_map<std::uint64_t, PendingJoin> pending_joins_;
+  std::vector<SliceDone> synth_slices_;
+  common::LatencyHistogram e2e_total_;
+  common::LatencyHistogram e2e_baseline_;
+  common::LatencyHistogram e2e_epoch_delta_;
+
+  // Online staleness tuning (dispatcher-written at quiescent points; read
+  // by workers' eager polls — ordered through the task-queue mutexes like
+  // map_, so no atomics). Initialized from config_.staleness_micros.
+  std::uint64_t staleness_ns_live_ = 0;
+  // Baseline for the tuner's per-epoch remote-freshness delta: snapshot of
+  // the merged (live shards + retired_) remote latency histogram.
+  common::LatencyHistogram tuner_remote_baseline_;
+
+  // SLO control-plane counters: lifetime totals (RuntimeResult) and the
+  // since-last-sample pending counts telemetry drains at each boundary.
+  std::uint64_t slo_split_decisions_ = 0;
+  std::uint64_t staleness_tunings_ = 0;
+  std::uint64_t pending_slo_decisions_ = 0;
+  std::uint64_t pending_staleness_tuned_ = 0;
 
   // Observability layer (null unless telemetry.enabled — every hot-path
   // site branches on the per-shard track pointer instead). The baselines

@@ -39,6 +39,9 @@ const std::vector<MetricDef>& Schema() {
       {"repl_applies", MetricKind::kCounter, "records"},
       {"repl_lag", MetricKind::kGauge, "records"},
       {"views_rebuilt", MetricKind::kCounter, "views"},
+      {"e2e_p99", MetricKind::kGauge, "us"},
+      {"slo_decisions", MetricKind::kCounter, "decisions"},
+      {"staleness_tuned", MetricKind::kCounter, "adjustments"},
   };
   return kSchema;
 }
@@ -119,6 +122,8 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
       AppendU64(out, "total_ops", e.u5, &first);
       AppendF64(out, "imbalance", e.f0, &first);
       AppendF64(out, "max_queue_backlog", e.f1, &first);
+      AppendF64(out, "e2e_p99_us", e.f2, &first);
+      AppendF64(out, "slo_target_us", e.f3, &first);
       out.append(",\"reason\":\"").append(e.label).append("\"");
       break;
     case TraceEventType::kEpoch:
@@ -187,8 +192,9 @@ TelemetryTrack* Telemetry::shard_track(std::uint32_t shard) {
 }
 
 void Telemetry::SampleEpoch(std::uint64_t epoch_index, SimTime epoch_end,
-                            std::uint64_t views_pending,
+                            const EpochScalars& scalars,
                             std::span<const ShardEpochSample> samples) {
+  bool first_row = true;
   for (const ShardEpochSample& s : samples) {
     common::MetricSeries::Row row;
     row.epoch = epoch_index;
@@ -217,12 +223,16 @@ void Telemetry::SampleEpoch(std::uint64_t epoch_index, SimTime epoch_end,
         static_cast<double>(s.drain_claims),
         static_cast<double>(s.drain_batch_ops),
         static_cast<double>(s.engine_view_reads),
-        static_cast<double>(views_pending),
+        static_cast<double>(scalars.views_pending),
         static_cast<double>(s.delta.repl_sent),
         static_cast<double>(s.delta.repl_applies),
         static_cast<double>(s.repl_lag),
         static_cast<double>(s.delta.views_rebuilt),
+        scalars.e2e_p99_us,
+        first_row ? static_cast<double>(scalars.slo_decisions) : 0.0,
+        first_row ? static_cast<double>(scalars.staleness_tuned) : 0.0,
     };
+    first_row = false;
     series_.Append(std::move(row));
   }
 }

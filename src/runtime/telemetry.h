@@ -84,6 +84,8 @@ enum class TraceEventType : std::uint8_t {
 //   kScalerDecision   u0=num_shards, u1=decision (0 = hold),
 //                     u2=cooldown_left, u3=cold_streak, u4=max_shard_ops,
 //                     u5=total_ops, f0=imbalance, f1=max_queue_backlog,
+//                     f2=end-to-end p99 observed this epoch (µs; 0 = no
+//                     completions), f3=SLO target (µs; 0 = SLO policy off),
 //                     label=reason
 //   kPlacement        u0=requested cpu, u1=achieved cpu (or ~0 on
 //                     failure/unpinned), u2=pinned (1/0), u3=first-touch
@@ -108,7 +110,7 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;  // 0 = instant
   std::uint64_t epoch = 0;   // boundary index the event belongs to
   std::uint64_t u0 = 0, u1 = 0, u2 = 0, u3 = 0, u4 = 0, u5 = 0;
-  double f0 = 0, f1 = 0;
+  double f0 = 0, f1 = 0, f2 = 0, f3 = 0;
   const char* label = "";
 };
 
@@ -213,12 +215,27 @@ class Telemetry {
   TelemetryTrack* dispatcher_track() { return tracks_.front().get(); }
   TelemetryTrack* shard_track(std::uint32_t shard);
 
+  // Dispatcher-scope scalars for one boundary (not per-shard). views_pending
+  // and e2e_p99_us are levels repeated on every row of the epoch;
+  // slo_decisions and staleness_tuned are counters attributed to the
+  // *first* row only, so the columns still sum to run totals. The two
+  // counters cover decisions since the previous sample: the scaler and the
+  // staleness tuner run *after* sampling at each boundary, so a boundary's
+  // decision lands in the next epoch's rows and the final boundary's
+  // decision is never sampled (reconcile against AutoScaler::history or the
+  // RuntimeResult lifetime totals, not row counts).
+  struct EpochScalars {
+    std::uint64_t views_pending = 0;  // migration ledger remaining (gauge)
+    double e2e_p99_us = 0;            // end-to-end p99 of this epoch's joins
+    std::uint64_t slo_decisions = 0;  // split-slo decisions since last sample
+    std::uint64_t staleness_tuned = 0;  // tuner adjustments since last sample
+  };
+
   // Appends one MetricSeries row per sample (dispatcher thread, quiescent
   // point, *before* any reconfiguration step so a retiring shard's final
-  // epoch is captured). `views_pending` is the migration window's remaining
-  // ledger (0 outside a window), repeated on every row of the epoch.
+  // epoch is captured).
   void SampleEpoch(std::uint64_t epoch_index, SimTime epoch_end,
-                   std::uint64_t views_pending,
+                   const EpochScalars& scalars,
                    std::span<const ShardEpochSample> samples);
 
   // Copies both planes. Quiescent point or after the run only.

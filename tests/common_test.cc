@@ -471,5 +471,176 @@ TEST(LatencyHistogramTest, ToCsvRoundTripsBucketCounts) {
   EXPECT_EQ(LatencyHistogram().ToCsv(), "bucket_lower_ns,count\n");
 }
 
+TEST(LatencyHistogramTest, BucketBoundariesArePinned) {
+  // Exported CSV columns (ToCsv bucket lower bounds) and every recorded
+  // percentile depend on these exact boundaries. Changing kSubBits must
+  // fail here loudly, not silently reshuffle historical distributions.
+  EXPECT_EQ(LatencyHistogram::kSubBits, 3);
+  EXPECT_EQ(LatencyHistogram::kNumBuckets, 496u);
+  // Values below 2^3 are exact: one single-value bucket each, and the
+  // first octave's sub-buckets stay single-valued too.
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketOf(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLower(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpper(v), v);
+  }
+  // From the second octave on, 8 sub-buckets per power of two.
+  EXPECT_EQ(LatencyHistogram::BucketOf(16), 16u);
+  EXPECT_EQ(LatencyHistogram::BucketLower(16), 16u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(16), 17u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1000), 63u);
+  EXPECT_EQ(LatencyHistogram::BucketLower(63), 960u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(63), 1023u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1024), 64u);
+  EXPECT_EQ(LatencyHistogram::BucketLower(64), 1024u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(64), 1151u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1'000'000), 143u);
+  EXPECT_EQ(LatencyHistogram::BucketLower(143), 983040u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(143), 1048575u);
+  // The top bucket holds everything up to UINT64_MAX.
+  EXPECT_EQ(LatencyHistogram::BucketOf(~std::uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(LatencyHistogram::kNumBuckets - 1),
+            ~std::uint64_t{0});
+}
+
+TEST(LatencyHistogramTest, DeltaSinceMatchesSuffixFeed) {
+  LatencyHistogram h;
+  for (const std::uint64_t v : {5u, 100u, 90000u}) h.Add(v);
+  const LatencyHistogram baseline = h;
+  for (const std::uint64_t v : {7u, 100u, 3000u}) h.Add(v);
+
+  const LatencyHistogram delta = h.DeltaSince(baseline);
+  EXPECT_EQ(delta.count(), 3u);
+  EXPECT_EQ(delta.sum(), 7u + 100u + 3000u);
+  EXPECT_EQ(delta.bucket_count(LatencyHistogram::BucketOf(7)), 1u);
+  EXPECT_EQ(delta.bucket_count(LatencyHistogram::BucketOf(100)), 1u);
+  EXPECT_EQ(delta.bucket_count(LatencyHistogram::BucketOf(3000)), 1u);
+  // The delta's max is the upper edge of its highest non-empty bucket,
+  // clamped to the full histogram's max — here the overall max (90000) is
+  // outside the delta, so 3000 rounds up within its bucket.
+  EXPECT_GE(delta.max(), 3000u);
+  EXPECT_EQ(delta.max(),
+            LatencyHistogram::BucketUpper(LatencyHistogram::BucketOf(3000)));
+
+  // When the overall maximum is part of the delta, the clamp makes the
+  // delta max exact.
+  const LatencyHistogram snap = h;
+  h.Add(500000);
+  EXPECT_EQ(h.DeltaSince(snap).max(), 500000u);
+
+  // An empty delta is all-zero, and a stale (ahead-of-current) baseline
+  // saturates to zeros instead of wrapping.
+  const LatencyHistogram empty_delta = h.DeltaSince(h);
+  EXPECT_EQ(empty_delta.count(), 0u);
+  EXPECT_EQ(empty_delta.sum(), 0u);
+  EXPECT_EQ(empty_delta.max(), 0u);
+  LatencyHistogram ahead = h;
+  ahead.Add(42);
+  const LatencyHistogram stale = h.DeltaSince(ahead);
+  EXPECT_EQ(stale.count(), 0u);
+  EXPECT_EQ(stale.sum(), 0u);
+  EXPECT_EQ(stale.max(), 0u);
+}
+
+// Property fuzz: random per-writer record streams, re-merged each "epoch"
+// and diffed against the previous merge, must equal a single histogram fed
+// the same values in order — bucket-for-bucket for the merge, and
+// bucket/count/sum-for-bit for each epoch delta (the delta max is bounded
+// by one bucket width, exactly as documented).
+TEST(LatencyHistogramTest, FuzzMergeAndDeltaMatchSingleFeedReference) {
+  for (std::uint64_t round = 0; round < 32; ++round) {
+    Rng rng(0x600dcafe + round);
+    const std::size_t num_writers = 1 + rng.NextBounded(4);
+    std::vector<LatencyHistogram> writers(num_writers);
+    LatencyHistogram reference;      // single feed of every value
+    LatencyHistogram previous;       // last epoch's merged snapshot
+    const std::uint32_t epochs = 1 + rng.NextBounded(6);
+    for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+      LatencyHistogram epoch_reference;  // single feed since the snapshot
+      const std::uint32_t adds = rng.NextBounded(200);
+      for (std::uint32_t a = 0; a < adds; ++a) {
+        // Log-uniform magnitudes below 2^48: exercises the exact range and
+        // dozens of octaves while keeping the cumulative sum far from
+        // uint64 wrap (the sum identity under test is exact, not modular).
+        const std::uint64_t v = rng.NextU64() >> (16 + rng.NextBounded(48));
+        writers[rng.NextBounded(static_cast<std::uint32_t>(num_writers))]
+            .Add(v);
+        reference.Add(v);
+        epoch_reference.Add(v);
+      }
+
+      // Merge is exact: the re-merged writers equal the single feed
+      // bit-for-bit, including sum, max, and both tails.
+      LatencyHistogram combined;
+      for (const LatencyHistogram& w : writers) combined.Merge(w);
+      ASSERT_EQ(combined.count(), reference.count());
+      ASSERT_EQ(combined.sum(), reference.sum());
+      ASSERT_EQ(combined.max(), reference.max());
+      for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+        ASSERT_EQ(combined.bucket_count(i), reference.bucket_count(i))
+            << "round " << round << " epoch " << epoch << " bucket " << i;
+      }
+      ASSERT_EQ(combined.Percentile(0.5), reference.Percentile(0.5));
+      ASSERT_EQ(combined.Percentile(0.99), reference.Percentile(0.99));
+
+      // The epoch delta equals a histogram fed only this epoch's values:
+      // exact buckets, count, and sum; max within one bucket width above.
+      const LatencyHistogram delta = combined.DeltaSince(previous);
+      ASSERT_EQ(delta.count(), epoch_reference.count());
+      ASSERT_EQ(delta.sum(), epoch_reference.sum());
+      for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+        ASSERT_EQ(delta.bucket_count(i), epoch_reference.bucket_count(i))
+            << "round " << round << " epoch " << epoch << " bucket " << i;
+      }
+      if (delta.count() == 0) {
+        ASSERT_EQ(delta.max(), 0u);
+      } else {
+        ASSERT_GE(delta.max(), epoch_reference.max());
+        ASSERT_LE(delta.max(), LatencyHistogram::BucketUpper(
+                                   LatencyHistogram::BucketOf(
+                                       epoch_reference.max())));
+        ASSERT_LE(delta.max(), combined.max());
+      }
+      previous = combined;
+    }
+  }
+}
+
+// On bucket-upper-valued samples the delta max loses nothing: the highest
+// non-empty bucket's upper edge *is* the suffix maximum, so record/
+// snapshot/record interleavings reproduce count, sum, and max bit-for-bit.
+TEST(LatencyHistogramTest, FuzzDeltaIsExactOnBucketUpperSamples) {
+  for (std::uint64_t round = 0; round < 32; ++round) {
+    Rng rng(0xde17a + round);
+    LatencyHistogram h;
+    LatencyHistogram baseline;
+    std::uint64_t suffix_count = 0;
+    std::uint64_t suffix_sum = 0;
+    std::uint64_t suffix_max = 0;
+    const std::uint32_t ops = 1 + rng.NextBounded(300);
+    for (std::uint32_t op = 0; op < ops; ++op) {
+      if (rng.NextBounded(10) == 0) {
+        baseline = h;  // re-snapshot: the suffix restarts empty
+        suffix_count = suffix_sum = suffix_max = 0;
+        continue;
+      }
+      // Stay below ~2^53 ns per sample so 300 adds cannot overflow the
+      // uint64 sum invariant being checked (the top octaves' upper edges
+      // saturate at UINT64_MAX).
+      const std::uint64_t v =
+          LatencyHistogram::BucketUpper(rng.NextBounded(408));
+      h.Add(v);
+      ++suffix_count;
+      suffix_sum += v;
+      suffix_max = std::max(suffix_max, v);
+    }
+    const LatencyHistogram delta = h.DeltaSince(baseline);
+    ASSERT_EQ(delta.count(), suffix_count) << "round " << round;
+    ASSERT_EQ(delta.sum(), suffix_sum) << "round " << round;
+    ASSERT_EQ(delta.max(), suffix_max) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace dynasore::common

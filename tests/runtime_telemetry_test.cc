@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/generator.h"
+#include "runtime/auto_scaler.h"
 #include "runtime/fault_injector.h"
 #include "runtime/sharded_runtime.h"
 #include "runtime/telemetry.h"
@@ -284,9 +285,18 @@ TEST(RuntimeTelemetryTest, MetricTotalsReconcileWithRunAggregates) {
   // One row per (boundary, shard): 24 epochs x 4 shards.
   const common::MetricSeries& series = result.telemetry->series;
   EXPECT_EQ(series.rows().size(), 24u * 4u);
-  EXPECT_EQ(series.schema().size(), 22u);
+  EXPECT_EQ(series.schema().size(), 25u);
   // Under kEpoch no staleness-gated polls run.
   EXPECT_EQ(series.ColumnTotal("eager_drains"), 0.0);
+  // With the scaler and the staleness tuner disabled the SLO columns are
+  // all-zero, and so are the RuntimeResult lifetime totals they mirror.
+  EXPECT_EQ(series.ColumnTotal("slo_decisions"), 0.0);
+  EXPECT_EQ(series.ColumnTotal("staleness_tuned"), 0.0);
+  EXPECT_EQ(result.slo_split_decisions, 0u);
+  EXPECT_EQ(result.staleness_tunings, 0u);
+  // The end-to-end join still runs (it is not gated on telemetry or the
+  // scaler): one sample per owned request.
+  EXPECT_EQ(result.e2e_latency.count(), result.totals.requests);
   // Every remote op was delivered by a batched boundary claim.
   ExpectBatchedDrainReconciles(result);
   EXPECT_GT(series.ColumnTotal("drain_claims"), 0.0);
@@ -536,6 +546,10 @@ TEST(RuntimeTelemetryTest, DisabledTelemetryIsNullAndBitIdentical) {
               traced.reconfig_events[i].views_migrated);
   }
   EXPECT_EQ(base.request_latency.count(), traced.request_latency.count());
+  // The completion join is observation-independent too: same sample count
+  // (one per owned request) whether telemetry watched the run or not.
+  EXPECT_EQ(base.e2e_latency.count(), base.totals.requests);
+  EXPECT_EQ(traced.e2e_latency.count(), base.e2e_latency.count());
 }
 
 TEST(RuntimeTelemetryTest, ZeroCapacityRingIsRejectedWhenEnabled) {
@@ -600,6 +614,139 @@ TEST(RuntimeTelemetryTest, ScalerDecisionsAppearAsInstantEvents) {
   EXPECT_NE(json.find("\"scaler_decision\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_NE(json.find("split-load"), std::string::npos);
+}
+
+// ----- SLO columns -----
+
+// The three SLO columns reconcile against the scaler's own audit trail and
+// the RuntimeResult lifetime totals. Offsets differ by design: e2e_p99 is
+// sampled the same boundary the scaler observes it (bit-identical doubles),
+// while slo_decisions counts "since the previous sample" — a decision made
+// at boundary E lands in the first row of boundary E+1, so a decision at
+// the final sampled boundary is never exported.
+TEST(RuntimeTelemetryTest, SloColumnsReconcileWithScalerHistoryAndResult) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  RuntimeConfig rt_config = TelemetryConfigOn(1);
+  rt_config.scaler.enabled = true;
+  rt_config.scaler.min_shards = 1;
+  rt_config.scaler.max_shards = 4;
+  rt_config.scaler.cooldown_epochs = 1;
+  // Load triggers off, merges off: every resize below is the SLO policy's.
+  rt_config.scaler.split_shard_ops = 0;
+  rt_config.scaler.merge_shard_ops = 0;
+  // A 1 µs end-to-end target is unmeetable, so every observed epoch with
+  // completions breaches it until the scaler parks at max_shards.
+  rt_config.scaler.target_p99_micros = 1;
+
+  const RuntimeFixture fx = MakeFixture(g);
+  ShardedRuntime runtime(g, fx.topo, fx.placement, fx.engine, rt_config);
+  const RuntimeResult result = runtime.Run(log);
+  ASSERT_NE(result.telemetry, nullptr);
+  const common::MetricSeries& series = result.telemetry->series;
+  ASSERT_NE(runtime.auto_scaler(), nullptr);
+  const std::vector<ScalerObservation>& history =
+      runtime.auto_scaler()->history();
+
+  // The unmeetable target drove the full split ladder 1 -> 2 -> 4, and the
+  // lifetime total mirrors the audit trail exactly.
+  std::uint64_t fired = 0;
+  for (const ScalerObservation& obs : history) {
+    if (std::string_view(obs.reason) == "split-slo" && obs.decision != 0) {
+      ++fired;
+      EXPECT_GT(obs.e2e_p99_us, obs.slo_target_us);
+      EXPECT_EQ(obs.slo_target_us, 1.0);
+    }
+  }
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(result.slo_split_decisions, fired);
+
+  // Column offset: a decision at boundary E drains into boundary E+1's
+  // sample, so the column sums to the decisions strictly before the last
+  // sampled boundary.
+  std::uint64_t max_epoch = 0;
+  for (const common::MetricSeries::Row& row : series.rows()) {
+    max_epoch = std::max(max_epoch, row.epoch);
+  }
+  std::uint64_t expected_sampled = 0;
+  for (const ScalerObservation& obs : history) {
+    if (std::string_view(obs.reason) == "split-slo" && obs.decision != 0 &&
+        obs.epoch_index < max_epoch) {
+      ++expected_sampled;
+    }
+  }
+  EXPECT_EQ(series.ColumnTotal("slo_decisions"),
+            static_cast<double>(expected_sampled));
+  // The staleness tuner is off: its column stays all-zero.
+  EXPECT_EQ(series.ColumnTotal("staleness_tuned"), 0.0);
+  EXPECT_EQ(result.staleness_tunings, 0u);
+
+  // e2e_p99 has no offset: every row of an epoch the scaler observed
+  // carries the exact double the observation recorded (same delta
+  // histogram, same expression, same boundary).
+  std::size_t e2e_col = series.schema().size();
+  for (std::size_t i = 0; i < series.schema().size(); ++i) {
+    if (std::string_view(series.schema()[i].name) == "e2e_p99") e2e_col = i;
+  }
+  ASSERT_LT(e2e_col, series.schema().size());
+  std::map<std::uint64_t, double> p99_by_epoch;
+  for (const ScalerObservation& obs : history) {
+    p99_by_epoch[obs.epoch_index] = obs.e2e_p99_us;
+  }
+  std::uint64_t rows_compared = 0;
+  for (const common::MetricSeries::Row& row : series.rows()) {
+    const auto it = p99_by_epoch.find(row.epoch);
+    if (it == p99_by_epoch.end()) continue;  // boundary skipped by the scaler
+    EXPECT_EQ(row.values[e2e_col], it->second);
+    ++rows_compared;
+  }
+  EXPECT_GT(rows_compared, 4u);
+
+  // The decision instants carry the SLO inputs, and the join conserves.
+  const std::string json = ChromeTraceJson(*result.telemetry);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("split-slo"), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo_target_us\""), std::string::npos);
+  EXPECT_EQ(result.e2e_latency.count(), result.totals.requests);
+  ExpectSeriesReconciles(result);
+}
+
+// The staleness tuner's column reconciles with the lifetime total up to the
+// one-boundary offset: a retune at the final boundary is never sampled, and
+// at most one retune happens per boundary, so the column sum is within 1 of
+// RuntimeResult::staleness_tunings.
+TEST(RuntimeTelemetryTest, StalenessTunedColumnReconcilesWithResult) {
+  const auto g = TestGraph();
+  const auto log = TestLog(g);
+
+  RuntimeConfig rt_config = TelemetryConfigOn(4);
+  rt_config.drain = DrainPolicy::kEager;
+  rt_config.staleness_micros = 1000;
+  rt_config.tune_staleness = true;
+  // A 1 µs freshness target is unmeetable on any real machine, so the tuner
+  // halves the live bound every evidenced boundary: 1000 µs reaches 0 in
+  // ten retunes, well before the run's 24 boundaries.
+  rt_config.staleness_target_p99_micros = 1;
+
+  const RuntimeResult result = RunWithPlan(g, log, rt_config, {});
+  ASSERT_NE(result.telemetry, nullptr);
+  const common::MetricSeries& series = result.telemetry->series;
+
+  EXPECT_GE(result.staleness_tunings, 10u);
+  EXPECT_LT(result.staleness_micros_end, rt_config.staleness_micros);
+  const double column = series.ColumnTotal("staleness_tuned");
+  EXPECT_LE(column, static_cast<double>(result.staleness_tunings));
+  EXPECT_GE(column + 1.0, static_cast<double>(result.staleness_tunings));
+  // No scaler: the decision column stays all-zero.
+  EXPECT_EQ(series.ColumnTotal("slo_decisions"), 0.0);
+  EXPECT_EQ(result.slo_split_decisions, 0u);
+
+  // Eager drains plus the tuner never break conservation: the join still
+  // sees exactly one completion per owned request.
+  EXPECT_EQ(result.e2e_latency.count(), result.totals.requests);
+  ExpectSeriesReconciles(result);
 }
 
 }  // namespace
