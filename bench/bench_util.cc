@@ -63,6 +63,12 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.batched = std::atoi(std::string(value).c_str()) != 0 ? 1 : 0;
     } else if (ConsumeFlag(arg, "--drain=", value)) {
       args.drain = std::string(value);
+    } else if (ConsumeFlag(arg, "--port=", value)) {
+      args.port =
+          static_cast<std::uint16_t>(std::atoi(std::string(value).c_str()));
+    } else if (ConsumeFlag(arg, "--connections=", value)) {
+      args.connections =
+          static_cast<std::uint32_t>(std::atoi(std::string(value).c_str()));
     } else if (ConsumeFlag(arg, "--shards=", value)) {
       args.shards.clear();
       std::string buffer(value);

@@ -53,13 +53,20 @@ struct BenchArgs {
   // print one machine-readable "TUNE,..." line — the contract
   // scripts/tune_runtime.py drives sweeps through.
   bool tune = false;
+
+  // Serving-tier knobs (bench_server_loopback). --port=N binds the server
+  // to a fixed port (0 keeps the kernel-chosen ephemeral default);
+  // --connections=N replaces the bench's default connection sweep with a
+  // single point.
+  std::uint16_t port = 0;          // --port=N
+  std::uint32_t connections = 0;   // --connections=N (0: bench default)
 };
 
 // Recognized flags: --scale=F --days=F --seed=N --graph=NAME --trials=N
 // --points=A,B,C --all-graphs --smoke --csv-dir=PATH --trace=PATH
 // --timeseries=PATH --shards=A,B,C --queue-depth=N --batch-size=N --pin
-// --batched=0|1 --drain=epoch|eager --tune. Environment variable
-// REPRO_SCALE overrides --scale when set.
+// --batched=0|1 --drain=epoch|eager --tune --port=N --connections=N.
+// Environment variable REPRO_SCALE overrides --scale when set.
 BenchArgs ParseArgs(int argc, char** argv);
 
 // Applies the shared smoke caps (scale <= 0.001, days <= 0.5) when

@@ -22,6 +22,7 @@ REQUIRED_DOCS = [
     "docs/fault_tolerance.md",
     "docs/observability.md",
     "docs/reconfiguration.md",
+    "docs/server.md",
     "docs/slo_control.md",
 ]
 
